@@ -1,0 +1,46 @@
+// Figure 1: computation time vs barrier wait time of barrier-based
+// Static PageRank under dynamic work scheduling of vertex chunks, with
+// chunk sizes swept 4 .. 16384 in multiples of 16, on three web-class
+// graphs. The paper's point: large chunks create stragglers that the
+// whole team waits for (up to 73% of execution), while tiny chunks trade
+// the waiting for scheduling overhead.
+#include "bench_common.hpp"
+
+using namespace lfpr;
+
+int main() {
+  const bench::BenchConfig cfg;
+  bench::printHeader(
+      "Figure 1: computation vs barrier wait time of StaticBB, chunk-size sweep",
+      "wait share grows with chunk size (up to ~73% on skewed web graphs); "
+      "small chunks shift time from waiting to scheduling overhead",
+      cfg);
+
+  // The paper uses sk-2005, uk-2005, indochina-2004 — the three web
+  // crawls with the most skewed chunk loads.
+  std::vector<std::string> wanted = {"sk-2005-sim", "uk-2005-sim",
+                                     "indochina-2004-sim"};
+  Table table({"graph", "chunk", "total_ms", "compute_ms", "wait_ms", "wait_pct",
+               "iterations"});
+  for (const auto& spec : staticDatasets(cfg.scale)) {
+    if (std::find(wanted.begin(), wanted.end(), spec.name) == wanted.end()) continue;
+    const auto g = spec.build(/*seed=*/1).toCsr();
+    for (std::size_t chunk : {std::size_t{4}, std::size_t{64}, std::size_t{1024},
+                              std::size_t{16384}}) {
+      auto opt = bench::benchOptions(cfg, g.numVertices());
+      opt.chunkSize = chunk;
+      PageRankResult result;
+      const double totalMs = bench::timedMs(cfg, [&] { result = staticBB(g, opt); });
+      // Average per-thread wait as a share of wall-clock execution.
+      const double waitShare =
+          result.waitMs / (static_cast<double>(cfg.threads) * result.timeMs);
+      const double waitMs = waitShare * totalMs;
+      table.addRow({spec.name, Table::count(chunk), bench::fmtMs(totalMs),
+                    bench::fmtMs(totalMs - waitMs), bench::fmtMs(waitMs),
+                    Table::num(100.0 * waitShare, 1) + "%",
+                    Table::count(static_cast<std::uint64_t>(result.iterations))});
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Micro-kernel benchmarks (google-benchmark): the primitive operations
+// the engines are built from. Not a paper figure — an engineering
+// baseline for spotting regressions in the hot paths.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "generate/batch_gen.hpp"
+#include "generate/generators.hpp"
+#include "graph/dynamic_digraph.hpp"
+#include "pagerank/atomics.hpp"
+#include "pagerank/detail/common.hpp"
+#include "sched/barrier.hpp"
+#include "sched/chunk_cursor.hpp"
+#include "sched/thread_team.hpp"
+#include "util/rng.hpp"
+
+namespace lfpr {
+namespace {
+
+CsrGraph makeGraph(int scale, EdgeId edges) {
+  Rng rng(1);
+  auto es = generateRmat(scale, edges, rng);
+  appendSelfLoops(es, VertexId{1} << scale);
+  return CsrGraph::fromEdges(VertexId{1} << scale, es);
+}
+
+void BM_RankPullKernel(benchmark::State& state) {
+  const auto g = makeGraph(12, 32000);
+  const std::vector<double> ranks(g.numVertices(), 1.0 / g.numVertices());
+  const double base = 0.15 / static_cast<double>(g.numVertices());
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+      acc += detail::pullRank(g, ranks, v, 0.85, base);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.numEdges()));
+}
+BENCHMARK(BM_RankPullKernel);
+
+void BM_RankPullKernelAtomic(benchmark::State& state) {
+  const auto g = makeGraph(12, 32000);
+  const AtomicF64Vector ranks(g.numVertices(), 1.0 / g.numVertices());
+  const double base = 0.15 / static_cast<double>(g.numVertices());
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+      acc += detail::pullRank(g, ranks, v, 0.85, base);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.numEdges()));
+}
+BENCHMARK(BM_RankPullKernelAtomic);
+
+void BM_ChunkCursorThroughput(benchmark::State& state) {
+  const auto threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    ChunkCursor cursor(1 << 20, 2048);
+    ThreadTeam team(threads);
+    team.run([&](int) {
+      std::size_t b = 0, e = 0;
+      while (cursor.next(b, e)) benchmark::DoNotOptimize(b);
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * (1 << 20));
+}
+BENCHMARK(BM_ChunkCursorThroughput)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_BarrierRoundTrip(benchmark::State& state) {
+  const auto threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    InstrumentedBarrier barrier(threads);
+    ThreadTeam team(threads);
+    team.run([&](int tid) {
+      for (int i = 0; i < 100; ++i) barrier.arriveAndWait(tid);
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100);
+}
+BENCHMARK(BM_BarrierRoundTrip)->Arg(2)->Arg(4);
+
+void BM_AtomicFlagScan(benchmark::State& state) {
+  const AtomicU8Vector flags(1 << 20, 0);
+  for (auto _ : state) benchmark::DoNotOptimize(flags.allZero());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * (1 << 20));
+}
+BENCHMARK(BM_AtomicFlagScan);
+
+void BM_CsrConstruction(benchmark::State& state) {
+  Rng rng(2);
+  auto es = generateRmat(12, 64000, rng);
+  appendSelfLoops(es, 4096);
+  for (auto _ : state) {
+    auto g = CsrGraph::fromEdges(4096, es);
+    benchmark::DoNotOptimize(g.numEdges());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(es.size()));
+}
+BENCHMARK(BM_CsrConstruction);
+
+void BM_BatchApply(benchmark::State& state) {
+  Rng rng(3);
+  auto es = generateRmat(12, 64000, rng);
+  appendSelfLoops(es, 4096);
+  const auto base = DynamicDigraph::fromEdges(4096, es);
+  Rng batchRng(4);
+  auto batch = generateBatch(base, 1000, batchRng);
+  for (auto _ : state) {
+    auto g = base;
+    g.applyBatch(batch);
+    benchmark::DoNotOptimize(g.numEdges());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_BatchApply);
+
+void BM_SnapshotToCsr(benchmark::State& state) {
+  Rng rng(5);
+  auto es = generateRmat(12, 64000, rng);
+  appendSelfLoops(es, 4096);
+  const auto g = DynamicDigraph::fromEdges(4096, es);
+  for (auto _ : state) {
+    auto csr = g.toCsr();
+    benchmark::DoNotOptimize(csr.numEdges());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.numEdges()));
+}
+BENCHMARK(BM_SnapshotToCsr);
+
+}  // namespace
+}  // namespace lfpr
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Section 5.2.3 (stability): generate a deletion-only batch, update the
+// ranks, re-insert the same edges, update again, and compare the final
+// ranks against the original graph's ranks. Ideally the L-inf difference
+// is 0; the paper reports max ~5.7e-10 (BB) / 4.6e-10 (LF) at tau=1e-10.
+// Under the bench protocol tolerances scale with 1/|V|, so errors are
+// reported both raw and relative to the tolerance.
+#include "bench_common.hpp"
+
+#include "generate/batch_gen.hpp"
+#include "util/rng.hpp"
+
+using namespace lfpr;
+
+int main() {
+  const bench::BenchConfig cfg;
+  bench::printHeader(
+      "Stability (Section 5.2.3): delete batch -> update -> re-insert -> update",
+      "final ranks match the original graph's ranks to within a few "
+      "tolerances (paper: max ~5e-10 at tau=1e-10), for ND and DF alike",
+      cfg);
+
+  const auto specs = representativeDatasets(cfg.scale);
+  Table table({"dataset", "batch_frac", "approach", "linf_vs_original",
+               "err_over_tau"});
+
+  for (std::size_t di = 0; di < specs.size(); ++di) {
+    const auto& spec = specs[di];
+    for (double fraction : {1e-5, 1e-3, 1e-1}) {
+      auto graph = spec.build(/*seed=*/1);
+      const auto opt = bench::benchOptions(cfg, graph.numVertices());
+
+      PageRankOptions hp = opt;  // high-precision original/warm ranks
+      hp.tolerance = std::max(1e-16, opt.frontierTolerance / 100.0);
+      const auto g0 = graph.toCsr();
+      const auto originalRanks = staticBB(g0, hp).ranks;
+
+      Rng rng(600 + di);
+      BatchGenOptions bg;
+      bg.deletionShare = 1.0;
+      const auto batchSize = static_cast<std::size_t>(std::max(
+          1.0, fraction * static_cast<double>(graph.numEdges())));
+      const auto delBatch = generateBatch(graph, batchSize, rng, bg);
+      const auto insBatch = delBatch.inverted();
+
+      for (Approach a : {Approach::NDLF, Approach::DFBB, Approach::DFLF}) {
+        auto work = graph;  // copy; original stays intact for other approaches
+        work.applyBatch(delBatch);
+        const auto g1 = work.toCsr();
+        const auto afterDelete =
+            runApproach(a, g0, g1, delBatch, originalRanks, opt);
+        work.applyBatch(insBatch);
+        const auto g2 = work.toCsr();
+        const auto afterReinsert =
+            runApproach(a, g1, g2, insBatch, afterDelete.ranks, opt);
+        const double err = linfNorm(afterReinsert.ranks, originalRanks);
+        table.addRow({spec.name, Table::sci(fraction, 0), approachName(a),
+                      Table::sci(err, 2), Table::num(err / opt.tolerance, 2)});
+      }
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Figures 2 & 3 as an executable demonstration: event timelines of
+// barrier-based vs lock-free engines processing four vertex chunks on two
+// threads, with (a) a random delay and (b) a crash-stop injected into
+// thread th1. The barrier-based run shows th2 stalling at the iteration
+// barrier (or deadlocking on crash); the lock-free run shows th2
+// absorbing th1's chunks and finishing.
+//
+//   ./fault_trace
+#include <cstdio>
+
+#include "generate/generators.hpp"
+#include "graph/dynamic_digraph.hpp"
+#include "pagerank/pagerank.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+using namespace lfpr;
+
+namespace {
+
+PageRankOptions traceOptions(VertexId n) {
+  PageRankOptions opt;
+  opt.numThreads = 2;
+  opt.chunkSize = n / 4;  // exactly four chunks: C1..C4 as in the figures
+  opt.barrierTimeout = std::chrono::milliseconds(500);
+  return opt;
+}
+
+CsrGraph traceGraph() {
+  Rng rng(5);
+  auto es = generateErdosRenyi(4096, 40000, rng);
+  appendSelfLoops(es, 4096);
+  return CsrGraph::fromEdges(4096, es);
+}
+
+}  // namespace
+
+int main() {
+  const auto g = traceGraph();
+  const auto opt = traceOptions(g.numVertices());
+  std::printf("graph: %u vertices in 4 chunks of %zu, 2 threads\n\n",
+              g.numVertices(), opt.chunkSize);
+
+  std::printf("--- Figure 2: random thread delays (10ms sleeps on both threads) ---\n");
+  {
+    FaultConfig cfg;
+    cfg.delayProbability = 5e-4;
+    cfg.delayDuration = std::chrono::milliseconds(10);
+
+    FaultInjector bbFault(2, cfg);
+    const auto bb = staticBB(g, opt, &bbFault);
+    std::printf("  barrier-based: %7.1f ms total, %6.1f ms spent waiting at "
+                "barriers (%llu sleeps)\n",
+                bb.timeMs, bb.waitMs,
+                static_cast<unsigned long long>(bbFault.delaysInjected()));
+
+    FaultInjector lfFault(2, cfg);
+    const auto lf = staticLF(g, opt, &lfFault);
+    std::printf("  lock-free:     %7.1f ms total,    no barrier waits "
+                "(%llu sleeps)\n",
+                lf.timeMs, static_cast<unsigned long long>(lfFault.delaysInjected()));
+    std::printf("  -> the delayed thread stalls the whole barrier-based team; "
+                "the lock-free team redistributes chunks.\n\n");
+  }
+
+  std::printf("--- Figure 3: crash-stop (th1 dies after 100 vertex updates) ---\n");
+  {
+    FaultConfig cfg;
+    cfg.crashAfterUpdates = {100, FaultConfig::noCrash};
+
+    FaultInjector bbFault(2, cfg);
+    const auto bb = staticBB(g, opt, &bbFault);
+    std::printf("  barrier-based: dnf=%s  (th2 waits at the barrier for th1 "
+                "forever; timeout reports DNF)\n",
+                bb.dnf ? "true" : "false");
+
+    FaultInjector lfFault(2, cfg);
+    const auto lf = staticLF(g, opt, &lfFault);
+    std::printf("  lock-free:     converged=%s in %d rounds  (th2 picks up "
+                "th1's unconverged chunks)\n",
+                lf.converged ? "yes" : "no", lf.iterations);
+    const auto reference = staticLF(g, opt);
+    std::printf("  result drift vs fault-free run: %.1e\n",
+                linfNorm(lf.ranks, reference.ranks));
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+#include "generate/batch_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace lfpr {
+
+BatchUpdate generateBatch(const DynamicDigraph& g, std::size_t batchSize, Rng& rng,
+                          const BatchGenOptions& options) {
+  BatchUpdate batch;
+  const VertexId n = g.numVertices();
+  if (n < 2 || batchSize == 0) return batch;
+
+  auto numDeletions =
+      static_cast<std::size_t>(std::llround(options.deletionShare *
+                                            static_cast<double>(batchSize)));
+  numDeletions = std::min(numDeletions, batchSize);
+  const std::size_t numInsertions = batchSize - numDeletions;
+
+  // --- Deletions: uniform over existing (non-self-loop) edges. ---
+  std::vector<Edge> candidates;
+  candidates.reserve(g.numEdges());
+  for (VertexId u = 0; u < n; ++u)
+    for (VertexId v : g.out(u))
+      if (!options.protectSelfLoops || u != v) candidates.push_back({u, v});
+
+  const std::size_t takeDel = std::min(numDeletions, candidates.size());
+  // Partial Fisher-Yates: the first takeDel entries become the sample.
+  for (std::size_t i = 0; i < takeDel; ++i) {
+    const std::size_t j = i + rng.below(candidates.size() - i);
+    std::swap(candidates[i], candidates[j]);
+    batch.deletions.push_back(candidates[i]);
+  }
+
+  // --- Insertions: uniform over absent, non-loop pairs. ---
+  std::unordered_set<Edge, EdgeHash> chosen;
+  chosen.reserve(numInsertions * 2);
+  std::size_t attempts = 0;
+  const std::size_t maxAttempts = 100 * (numInsertions + 1);
+  while (batch.insertions.size() < numInsertions && attempts < maxAttempts) {
+    ++attempts;
+    const auto u = static_cast<VertexId>(rng.below(n));
+    const auto v = static_cast<VertexId>(rng.below(n));
+    if (u == v || g.hasEdge(u, v)) continue;
+    const Edge e{u, v};
+    if (chosen.insert(e).second) batch.insertions.push_back(e);
+  }
+  return batch;
+}
+
+BatchUpdate generateBatchFraction(const DynamicDigraph& g, double fraction, Rng& rng,
+                                  const BatchGenOptions& options) {
+  const auto batchSize = static_cast<std::size_t>(std::max(
+      1.0, std::llround(fraction * static_cast<double>(g.numEdges())) * 1.0));
+  return generateBatch(g, batchSize, rng, options);
+}
+
+}  // namespace lfpr

@@ -1,0 +1,35 @@
+// Random batch-update generation, following the paper's protocol
+// (Section 5.1.4): a batch is an equal mix of edge deletions and
+// insertions; deletions sample existing edges uniformly, insertions
+// sample unconnected vertex pairs uniformly; no vertices are added or
+// removed; self-loops are never deleted (the paper re-adds self-loops
+// with every batch).
+#pragma once
+
+#include "graph/dynamic_digraph.hpp"
+#include "graph/types.hpp"
+#include "util/rng.hpp"
+
+namespace lfpr {
+
+struct BatchGenOptions {
+  /// Fraction of the batch that is deletions (paper: equal mix = 0.5).
+  double deletionShare = 0.5;
+  /// Never sample self-loops for deletion (keeps dead-end elimination
+  /// intact across updates).
+  bool protectSelfLoops = true;
+};
+
+/// Generate a batch of `batchSize` edge updates against `g`. The batch is
+/// not applied. Deletions are distinct existing edges; insertions are
+/// distinct absent non-loop edges. If the graph is too small/dense to
+/// honour the requested count, the respective side is smaller.
+BatchUpdate generateBatch(const DynamicDigraph& g, std::size_t batchSize, Rng& rng,
+                          const BatchGenOptions& options = {});
+
+/// Batch sized as a fraction of |E| (paper sweeps 1e-8 .. 0.1), clamped
+/// to at least one update.
+BatchUpdate generateBatchFraction(const DynamicDigraph& g, double fraction, Rng& rng,
+                                  const BatchGenOptions& options = {});
+
+}  // namespace lfpr

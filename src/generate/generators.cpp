@@ -1,0 +1,277 @@
+#include "generate/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace lfpr {
+
+std::vector<Edge> generateRmat(int scale, EdgeId numEdges, Rng& rng, double a, double b,
+                               double c, double d) {
+  if (scale <= 0 || scale > 30) throw std::invalid_argument("rmat: bad scale");
+  const double sum = a + b + c + d;
+  if (sum < 0.999 || sum > 1.001) throw std::invalid_argument("rmat: probs must sum to 1");
+
+  std::vector<Edge> edges;
+  edges.reserve(numEdges);
+  std::unordered_set<Edge, EdgeHash> seen;
+  seen.reserve(numEdges * 2);
+
+  // Rejection loop: draw RMAT quadrant paths until numEdges distinct
+  // non-loop edges are collected. Noise is added per level (the standard
+  // "smoothing" that avoids exact-power-law artifacts).
+  while (edges.size() < numEdges) {
+    VertexId u = 0, v = 0;
+    for (int level = 0; level < scale; ++level) {
+      const double r = rng.uniform();
+      // Mildly perturbed quadrant probabilities, renormalized.
+      const double na = a * (0.95 + 0.1 * rng.uniform());
+      const double nb = b * (0.95 + 0.1 * rng.uniform());
+      const double nc = c * (0.95 + 0.1 * rng.uniform());
+      const double nd = d * (0.95 + 0.1 * rng.uniform());
+      const double norm = na + nb + nc + nd;
+      const double pa = na / norm, pb = nb / norm, pc = nc / norm;
+      u <<= 1;
+      v <<= 1;
+      if (r < pa) {
+        // top-left: no bits set
+      } else if (r < pa + pb) {
+        v |= 1;
+      } else if (r < pa + pb + pc) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u == v) continue;
+    const Edge e{u, v};
+    if (seen.insert(e).second) edges.push_back(e);
+  }
+  return edges;
+}
+
+std::vector<Edge> generateWebGraph(VertexId numPages, VertexId hostSize,
+                                   double avgOutDegree, Rng& rng) {
+  if (numPages < 2) throw std::invalid_argument("web: need >= 2 pages");
+  if (hostSize == 0) throw std::invalid_argument("web: hostSize must be > 0");
+  if (avgOutDegree < 1.0) throw std::invalid_argument("web: avgOutDegree must be >= 1");
+  const VertexId numHosts = (numPages + hostSize - 1) / hostSize;
+
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(avgOutDegree * numPages * 1.05));
+
+  auto pageInHost = [&](VertexId host) {
+    const VertexId base = host * hostSize;
+    const VertexId size =
+        host + 1 == numHosts ? numPages - base : hostSize;  // last host may be short
+    return base + static_cast<VertexId>(rng.below(size));
+  };
+
+  for (VertexId u = 0; u < numPages; ++u) {
+    const VertexId host = u / hostSize;
+    // Heavy-tailed out-degree: Pareto(alpha=2) has mean 2, so scaling by
+    // (avg-1)/2 and capping the tail keeps the mean near avgOutDegree.
+    const double pareto = std::min(40.0, 1.0 / std::sqrt(1.0 - rng.uniform()));
+    const auto outDeg = static_cast<VertexId>(
+        1 + std::llround((avgOutDegree - 1.0) * pareto / 2.0));
+    for (VertexId k = 0; k < outDeg; ++k) {
+      const double r = rng.uniform();
+      VertexId v;
+      if (r < 0.90) {
+        v = pageInHost(host);  // site-internal navigation
+      } else if (r < 0.98) {
+        // Topical/crawl locality: an adjacent host (+-1). Narrow windows
+        // keep the host-level graph path-like, i.e. large-diameter.
+        const auto offset = static_cast<std::int64_t>(rng.below(3)) - 1;
+        auto h = static_cast<std::int64_t>(host) + offset;
+        if (h < 0) h += numHosts;
+        v = pageInHost(static_cast<VertexId>(h % numHosts));
+      } else {
+        // Globally popular hub page. Quartic skew: global attention
+        // concentrates on a handful of super-hubs (portals, search
+        // engines), so the hub core stays a few hundred pages.
+        const double x = rng.uniform();
+        const double x2 = x * x;
+        v = static_cast<VertexId>(x2 * x2 * numPages);
+        if (v >= numPages) v = numPages - 1;
+      }
+      if (v != u) edges.push_back({u, v});
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return edges;
+}
+
+std::vector<Edge> generateErdosRenyi(VertexId numVertices, EdgeId numEdges, Rng& rng) {
+  if (numVertices < 2) throw std::invalid_argument("er: need >= 2 vertices");
+  const EdgeId maxEdges =
+      static_cast<EdgeId>(numVertices) * (numVertices - 1);  // directed, no loops
+  if (numEdges > maxEdges) throw std::invalid_argument("er: too many edges requested");
+
+  std::vector<Edge> edges;
+  edges.reserve(numEdges);
+  std::unordered_set<Edge, EdgeHash> seen;
+  seen.reserve(numEdges * 2);
+  while (edges.size() < numEdges) {
+    const auto u = static_cast<VertexId>(rng.below(numVertices));
+    const auto v = static_cast<VertexId>(rng.below(numVertices));
+    if (u == v) continue;
+    const Edge e{u, v};
+    if (seen.insert(e).second) edges.push_back(e);
+  }
+  return edges;
+}
+
+std::vector<Edge> generateBarabasiAlbert(VertexId numVertices, VertexId edgesPerVertex,
+                                         Rng& rng) {
+  if (numVertices <= edgesPerVertex)
+    throw std::invalid_argument("ba: numVertices must exceed edgesPerVertex");
+  if (edgesPerVertex == 0) throw std::invalid_argument("ba: edgesPerVertex must be > 0");
+
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(numVertices) * edgesPerVertex);
+  // `targets` holds one entry per edge endpoint, so sampling an element
+  // uniformly implements degree-proportional (preferential) attachment.
+  std::vector<VertexId> targets;
+  targets.reserve(2 * edges.capacity());
+
+  // Seed clique over the first edgesPerVertex+1 vertices.
+  const VertexId seedCount = edgesPerVertex + 1;
+  for (VertexId u = 0; u < seedCount; ++u) {
+    for (VertexId v = 0; v < seedCount; ++v) {
+      if (u == v) continue;
+      edges.push_back({u, v});
+    }
+    for (VertexId k = 0; k < edgesPerVertex; ++k) targets.push_back(u);
+  }
+
+  for (VertexId u = seedCount; u < numVertices; ++u) {
+    std::unordered_set<VertexId> chosen;
+    while (chosen.size() < edgesPerVertex) {
+      const VertexId v = targets[rng.below(targets.size())];
+      if (v == u) continue;
+      if (chosen.insert(v).second) edges.push_back({u, v});
+    }
+    for (VertexId v : chosen) targets.push_back(v);
+    targets.push_back(u);
+  }
+  return edges;
+}
+
+std::vector<Edge> generateGrid(VertexId rows, VertexId cols, double shortcutFraction,
+                               Rng& rng) {
+  if (rows == 0 || cols == 0) throw std::invalid_argument("grid: empty grid");
+  const VertexId n = rows * cols;
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(2 * n) + 16);
+  auto id = [cols](VertexId r, VertexId c) { return r * cols + c; };
+  for (VertexId r = 0; r < rows; ++r) {
+    for (VertexId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.push_back({id(r, c), id(r, c + 1)});
+      if (r + 1 < rows) edges.push_back({id(r, c), id(r + 1, c)});
+    }
+  }
+  // Shortcuts are *local* (ramps, bridges: a few cells away), never
+  // long-range — road networks have no small-world links, which is why
+  // their effective diameter is huge.
+  constexpr VertexId kShortcutSpan = 4;
+  const auto numShortcuts = static_cast<EdgeId>(shortcutFraction * static_cast<double>(n));
+  for (EdgeId i = 0; i < numShortcuts; ++i) {
+    const auto r = static_cast<VertexId>(rng.below(rows));
+    const auto c = static_cast<VertexId>(rng.below(cols));
+    const auto dr = static_cast<VertexId>(rng.below(kShortcutSpan + 1));
+    const auto dc = static_cast<VertexId>(rng.below(kShortcutSpan + 1));
+    const VertexId r2 = std::min<VertexId>(rows - 1, r + dr);
+    const VertexId c2 = std::min<VertexId>(cols - 1, c + dc);
+    if (id(r, c) != id(r2, c2)) edges.push_back({id(r, c), id(r2, c2)});
+  }
+  return edges;
+}
+
+std::vector<Edge> generateKmerChains(VertexId numVertices, double branchProbability,
+                                     Rng& rng) {
+  if (numVertices < 2) throw std::invalid_argument("kmer: need >= 2 vertices");
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(1.2 * static_cast<double>(numVertices)));
+  // Walk vertices in order as one long chain; at branch points, connect to
+  // a *nearby* earlier vertex. Branches in real k-mer (de Bruijn) graphs
+  // are local bubbles from sequencing errors and repeats, not long-range
+  // shortcuts — locality is what gives these graphs their enormous
+  // diameter, which in turn keeps dynamic-frontier propagation local.
+  constexpr VertexId kBubbleWindow = 48;
+  for (VertexId v = 1; v < numVertices; ++v) {
+    edges.push_back({v - 1, v});
+    if (v > 2 && rng.chance(branchProbability)) {
+      const VertexId span = std::min<VertexId>(v - 1, kBubbleWindow);
+      const auto w = static_cast<VertexId>(v - 1 - rng.below(span));
+      if (w != v) edges.push_back({w, v});
+    }
+  }
+  return edges;
+}
+
+std::vector<Edge> symmetrize(const std::vector<Edge>& edges) {
+  std::vector<Edge> result;
+  result.reserve(edges.size() * 2);
+  for (const Edge& e : edges) {
+    result.push_back(e);
+    if (e.src != e.dst) result.push_back({e.dst, e.src});
+  }
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+  return result;
+}
+
+void appendSelfLoops(std::vector<Edge>& edges, VertexId numVertices) {
+  edges.reserve(edges.size() + numVertices);
+  for (VertexId v = 0; v < numVertices; ++v) edges.push_back({v, v});
+}
+
+std::vector<TemporalEdge> generateTemporalStream(VertexId numVertices,
+                                                 EdgeId numTemporalEdges,
+                                                 double duplicateFraction, Rng& rng,
+                                                 double hubFraction,
+                                                 VertexId localityWindow) {
+  if (numVertices < 2) throw std::invalid_argument("temporal: need >= 2 vertices");
+  if (localityWindow == 0) localityWindow = std::max<VertexId>(16, numVertices / 20);
+  std::vector<TemporalEdge> stream;
+  stream.reserve(numTemporalEdges);
+  // Vertices "activate" over time. Most interactions are local in time
+  // (drawn from the window of recently activated vertices); a fraction
+  // targets old globally popular vertices (quadratic skew toward low
+  // ids). Duplicate events re-emit a recent edge.
+  std::vector<Edge> history;
+  history.reserve(numTemporalEdges);
+  for (EdgeId i = 0; i < numTemporalEdges; ++i) {
+    const auto t = static_cast<std::uint64_t>(i + 1);
+    // Active prefix grows linearly with the stream position.
+    const auto active = static_cast<VertexId>(
+        2 + (static_cast<std::uint64_t>(numVertices - 2) * i) / numTemporalEdges);
+    if (!history.empty() && rng.chance(duplicateFraction)) {
+      // Duplicates favour recent edges (re-activity is bursty).
+      const std::size_t span = std::min<std::size_t>(history.size(), 4096);
+      const Edge& e = history[history.size() - 1 - rng.below(span)];
+      stream.push_back({e.src, e.dst, t});
+      continue;
+    }
+    const VertexId windowLow = active > localityWindow ? active - localityWindow : 0;
+    auto u = static_cast<VertexId>(windowLow + rng.below(active - windowLow));
+    VertexId v;
+    if (rng.chance(hubFraction)) {
+      const double rv = rng.uniform();
+      v = static_cast<VertexId>(rv * rv * active);  // old popular vertex
+    } else {
+      v = static_cast<VertexId>(windowLow + rng.below(active - windowLow));
+    }
+    if (v >= active) v = active - 1;
+    if (u == v) v = (u + 1) % active;  // active >= 2, so v != u
+    stream.push_back({u, v, t});
+    history.push_back({u, v});
+  }
+  return stream;
+}
+
+}  // namespace lfpr

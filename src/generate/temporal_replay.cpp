@@ -1,0 +1,58 @@
+#include "generate/temporal_replay.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace lfpr {
+
+TemporalReplay makeTemporalReplay(const TemporalEdgeListData& data,
+                                  double initialFraction, double batchFraction,
+                                  std::size_t maxBatches) {
+  if (initialFraction < 0.0 || initialFraction > 1.0)
+    throw std::invalid_argument("makeTemporalReplay: bad initialFraction");
+  if (batchFraction <= 0.0)
+    throw std::invalid_argument("makeTemporalReplay: bad batchFraction");
+
+  // Stable sort by timestamp (the stream order of equal timestamps is
+  // preserved, as when reading a SNAP file in order).
+  std::vector<TemporalEdge> stream = data.edges;
+  std::stable_sort(stream.begin(), stream.end(),
+                   [](const TemporalEdge& a, const TemporalEdge& b) {
+                     return a.time < b.time;
+                   });
+
+  TemporalReplay replay;
+  replay.numTemporalEdges = stream.size();
+  {
+    std::unordered_set<Edge, EdgeHash> distinct;
+    distinct.reserve(stream.size() * 2);
+    for (const TemporalEdge& e : stream) distinct.insert({e.src, e.dst});
+    replay.numStaticEdges = distinct.size();
+  }
+
+  const auto initialCount = static_cast<std::size_t>(
+      std::llround(initialFraction * static_cast<double>(stream.size())));
+  replay.initial = DynamicDigraph(data.numVertices);
+  for (std::size_t i = 0; i < initialCount; ++i)
+    replay.initial.addEdge(stream[i].src, stream[i].dst);  // dedups internally
+  replay.initial.ensureSelfLoops();
+
+  const auto batchSize = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::llround(batchFraction * static_cast<double>(stream.size()))));
+  BatchUpdate batch;
+  for (std::size_t i = initialCount; i < stream.size(); ++i) {
+    batch.insertions.push_back({stream[i].src, stream[i].dst});
+    if (batch.insertions.size() == batchSize) {
+      replay.batches.push_back(std::move(batch));
+      batch = {};
+      if (maxBatches != 0 && replay.batches.size() == maxBatches) return replay;
+    }
+  }
+  if (!batch.insertions.empty()) replay.batches.push_back(std::move(batch));
+  return replay;
+}
+
+}  // namespace lfpr

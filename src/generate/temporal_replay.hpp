@@ -1,0 +1,29 @@
+// The paper's real-world-dynamic-graph protocol (Section 5.1.4): load the
+// first 90% of a temporal edge stream as the initial graph, then replay
+// the remaining 10% as consecutive insertion-only batch updates of size
+// batchFraction * |E_T|.
+#pragma once
+
+#include <vector>
+
+#include "graph/dynamic_digraph.hpp"
+#include "graph/io.hpp"
+#include "graph/types.hpp"
+
+namespace lfpr {
+
+struct TemporalReplay {
+  /// Initial graph (deduplicated 90% prefix, self-loops added).
+  DynamicDigraph initial;
+  /// Insertion-only batches covering the remaining stream, in order.
+  std::vector<BatchUpdate> batches;
+  EdgeId numTemporalEdges = 0;
+  EdgeId numStaticEdges = 0;  // distinct edges over the whole stream
+};
+
+/// Build a replay from a temporal edge list. `maxBatches == 0` keeps all.
+TemporalReplay makeTemporalReplay(const TemporalEdgeListData& data,
+                                  double initialFraction, double batchFraction,
+                                  std::size_t maxBatches = 0);
+
+}  // namespace lfpr

@@ -1,0 +1,86 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lfpr {
+
+CsrGraph CsrGraph::fromEdges(VertexId numVertices, std::span<const Edge> edges,
+                             bool dedup) {
+  std::vector<Edge> sorted(edges.begin(), edges.end());
+  for (const Edge& e : sorted) {
+    if (e.src >= numVertices || e.dst >= numVertices)
+      throw std::out_of_range("CsrGraph::fromEdges: edge endpoint out of range");
+  }
+  std::sort(sorted.begin(), sorted.end());
+  if (dedup) sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+  CsrGraph g;
+  const std::size_t n = numVertices;
+  const std::size_t m = sorted.size();
+
+  g.outOffsets_.assign(n + 1, 0);
+  g.outTargets_.resize(m);
+  for (const Edge& e : sorted) ++g.outOffsets_[e.src + 1];
+  for (std::size_t i = 1; i <= n; ++i) g.outOffsets_[i] += g.outOffsets_[i - 1];
+  for (std::size_t i = 0; i < m; ++i) g.outTargets_[i] = sorted[i].dst;
+
+  // In-adjacency via counting sort on destination.
+  g.inOffsets_.assign(n + 1, 0);
+  g.inSources_.resize(m);
+  for (const Edge& e : sorted) ++g.inOffsets_[e.dst + 1];
+  for (std::size_t i = 1; i <= n; ++i) g.inOffsets_[i] += g.inOffsets_[i - 1];
+  std::vector<EdgeId> cursor(g.inOffsets_.begin(), g.inOffsets_.end() - 1);
+  for (const Edge& e : sorted) g.inSources_[cursor[e.dst]++] = e.src;
+  // Sources land in sorted order already because `sorted` is (src, dst)
+  // ordered and the counting pass is stable.
+  return g;
+}
+
+bool CsrGraph::hasEdge(VertexId u, VertexId v) const noexcept {
+  if (u >= numVertices() || v >= numVertices()) return false;
+  const auto adj = out(u);
+  return std::binary_search(adj.begin(), adj.end(), v);
+}
+
+std::vector<Edge> CsrGraph::edges() const {
+  std::vector<Edge> result;
+  result.reserve(numEdges());
+  for (VertexId u = 0; u < numVertices(); ++u)
+    for (VertexId v : out(u)) result.push_back({u, v});
+  return result;
+}
+
+void CsrGraph::validate() const {
+  const VertexId n = numVertices();
+  if (outOffsets_.size() != inOffsets_.size())
+    throw std::logic_error("csr: offset array size mismatch");
+  if (outOffsets_.back() != outTargets_.size() || inOffsets_.back() != inSources_.size())
+    throw std::logic_error("csr: offsets do not cover target arrays");
+  EdgeId outEdges = 0, inEdges = 0;
+  for (VertexId u = 0; u < n; ++u) {
+    if (outOffsets_[u] > outOffsets_[u + 1] || inOffsets_[u] > inOffsets_[u + 1])
+      throw std::logic_error("csr: non-monotone offsets");
+    const auto adj = out(u);
+    if (!std::is_sorted(adj.begin(), adj.end()))
+      throw std::logic_error("csr: out adjacency not sorted");
+    if (std::adjacent_find(adj.begin(), adj.end()) != adj.end())
+      throw std::logic_error("csr: duplicate out edge");
+    for (VertexId v : adj) {
+      if (v >= n) throw std::logic_error("csr: out target out of range");
+    }
+    outEdges += adj.size();
+    inEdges += in(u).size();
+  }
+  if (outEdges != inEdges) throw std::logic_error("csr: in/out edge count mismatch");
+  // Cross-check: every out edge must appear in the destination's in-list.
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v : out(u)) {
+      const auto srcs = in(v);
+      if (!std::binary_search(srcs.begin(), srcs.end(), u))
+        throw std::logic_error("csr: out edge missing from in adjacency");
+    }
+  }
+}
+
+}  // namespace lfpr

@@ -1,0 +1,69 @@
+// Immutable CSR snapshot with both out- and in-adjacency.
+//
+// Every PageRank engine in the paper pulls rank over incoming edges
+// (R[v] += alpha * R[u]/outdeg(u) for u in G.in(v)) and pushes frontier
+// marks over outgoing edges (mark G.out(v)), so a snapshot stores both
+// directions. Snapshots are read-only: the batch-dynamic setting
+// (Section 3.4) interleaves updates and computation via immutable
+// snapshots taken from DynamicDigraph.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace lfpr {
+
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Build from an edge list. Self-loops are kept; duplicate edges are
+  /// removed iff `dedup` (the paper's static graphs are simple graphs).
+  static CsrGraph fromEdges(VertexId numVertices, std::span<const Edge> edges,
+                            bool dedup = true);
+
+  [[nodiscard]] VertexId numVertices() const noexcept {
+    return static_cast<VertexId>(outOffsets_.empty() ? 0 : outOffsets_.size() - 1);
+  }
+  [[nodiscard]] EdgeId numEdges() const noexcept {
+    return outOffsets_.empty() ? 0 : outOffsets_.back();
+  }
+
+  [[nodiscard]] std::span<const VertexId> out(VertexId u) const noexcept {
+    return {outTargets_.data() + outOffsets_[u],
+            outTargets_.data() + outOffsets_[u + 1]};
+  }
+  [[nodiscard]] std::span<const VertexId> in(VertexId v) const noexcept {
+    return {inSources_.data() + inOffsets_[v], inSources_.data() + inOffsets_[v + 1]};
+  }
+
+  [[nodiscard]] VertexId outDegree(VertexId u) const noexcept {
+    return static_cast<VertexId>(outOffsets_[u + 1] - outOffsets_[u]);
+  }
+  [[nodiscard]] VertexId inDegree(VertexId v) const noexcept {
+    return static_cast<VertexId>(inOffsets_[v + 1] - inOffsets_[v]);
+  }
+
+  /// True if the edge u -> v exists (binary search over sorted adjacency).
+  [[nodiscard]] bool hasEdge(VertexId u, VertexId v) const noexcept;
+
+  /// All edges, in (src, dst) sorted order.
+  [[nodiscard]] std::vector<Edge> edges() const;
+
+  /// Structural invariants: sorted adjacency, in/out consistency, offsets
+  /// monotone. Throws std::logic_error on violation (used by tests and by
+  /// debug assertions in the harness).
+  void validate() const;
+
+  friend bool operator==(const CsrGraph& a, const CsrGraph& b) = default;
+
+ private:
+  std::vector<EdgeId> outOffsets_;
+  std::vector<VertexId> outTargets_;
+  std::vector<EdgeId> inOffsets_;
+  std::vector<VertexId> inSources_;
+};
+
+}  // namespace lfpr

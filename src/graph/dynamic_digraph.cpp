@@ -1,0 +1,123 @@
+#include "graph/dynamic_digraph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lfpr {
+
+namespace {
+
+bool sortedContains(const std::vector<VertexId>& v, VertexId x) noexcept {
+  return std::binary_search(v.begin(), v.end(), x);
+}
+
+bool sortedInsert(std::vector<VertexId>& v, VertexId x) {
+  const auto it = std::lower_bound(v.begin(), v.end(), x);
+  if (it != v.end() && *it == x) return false;
+  v.insert(it, x);
+  return true;
+}
+
+bool sortedErase(std::vector<VertexId>& v, VertexId x) noexcept {
+  const auto it = std::lower_bound(v.begin(), v.end(), x);
+  if (it == v.end() || *it != x) return false;
+  v.erase(it);
+  return true;
+}
+
+}  // namespace
+
+DynamicDigraph::DynamicDigraph(VertexId numVertices)
+    : out_(numVertices), in_(numVertices) {}
+
+DynamicDigraph DynamicDigraph::fromEdges(VertexId numVertices,
+                                         std::span<const Edge> edges) {
+  DynamicDigraph g(numVertices);
+  for (const Edge& e : edges) g.addEdge(e.src, e.dst);
+  return g;
+}
+
+DynamicDigraph DynamicDigraph::fromCsr(const CsrGraph& src) {
+  DynamicDigraph g(src.numVertices());
+  for (VertexId u = 0; u < src.numVertices(); ++u) {
+    const auto adj = src.out(u);
+    g.out_[u].assign(adj.begin(), adj.end());
+    const auto srcs = src.in(u);
+    g.in_[u].assign(srcs.begin(), srcs.end());
+  }
+  g.numEdges_ = src.numEdges();
+  return g;
+}
+
+void DynamicDigraph::checkVertex(VertexId v) const {
+  if (v >= numVertices())
+    throw std::out_of_range("DynamicDigraph: vertex id out of range");
+}
+
+bool DynamicDigraph::hasEdge(VertexId u, VertexId v) const noexcept {
+  if (u >= numVertices() || v >= numVertices()) return false;
+  return sortedContains(out_[u], v);
+}
+
+bool DynamicDigraph::addEdge(VertexId u, VertexId v) {
+  checkVertex(u);
+  checkVertex(v);
+  if (!sortedInsert(out_[u], v)) return false;
+  sortedInsert(in_[v], u);
+  ++numEdges_;
+  return true;
+}
+
+bool DynamicDigraph::removeEdge(VertexId u, VertexId v) {
+  checkVertex(u);
+  checkVertex(v);
+  if (!sortedErase(out_[u], v)) return false;
+  sortedErase(in_[v], u);
+  --numEdges_;
+  return true;
+}
+
+DynamicDigraph::ApplyReport DynamicDigraph::applyBatch(const BatchUpdate& batch) {
+  ApplyReport report;
+  for (const Edge& e : batch.deletions) {
+    if (removeEdge(e.src, e.dst))
+      ++report.deleted;
+    else
+      ++report.missedDeletions;
+  }
+  for (const Edge& e : batch.insertions) {
+    if (addEdge(e.src, e.dst))
+      ++report.inserted;
+    else
+      ++report.duplicateInsertions;
+  }
+  return report;
+}
+
+std::size_t DynamicDigraph::ensureSelfLoops() {
+  std::size_t added = 0;
+  for (VertexId v = 0; v < numVertices(); ++v)
+    if (addEdge(v, v)) ++added;
+  return added;
+}
+
+CsrGraph DynamicDigraph::toCsr() const {
+  // Adjacency lists are already sorted and deduplicated; assemble offsets
+  // directly instead of round-tripping through an edge list.
+  const VertexId n = numVertices();
+  std::vector<Edge> es;
+  es.reserve(numEdges_);
+  for (VertexId u = 0; u < n; ++u)
+    for (VertexId v : out_[u]) es.push_back({u, v});
+  return CsrGraph::fromEdges(n, es, /*dedup=*/false);
+}
+
+std::vector<Edge> DynamicDigraph::edges() const {
+  std::vector<Edge> es;
+  es.reserve(numEdges_);
+  for (VertexId u = 0; u < numVertices(); ++u)
+    for (VertexId v : out_[u]) es.push_back({u, v});
+  return es;
+}
+
+}  // namespace lfpr

@@ -1,0 +1,78 @@
+// Mutable directed graph supporting the paper's batch-dynamic setting:
+// apply a batch Δt = (Δt-, Δt+) of edge deletions and insertions between
+// snapshots, keep self-loops on every vertex (dead-end elimination,
+// Section 5.1.3), and produce immutable CSR snapshots for the engines.
+//
+// Adjacency is stored as sorted vectors per vertex: O(log d) membership,
+// O(d) insert/erase — fine for laptop-scale graphs and batch sizes, and
+// cache-friendly for the snapshot pass.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/types.hpp"
+
+namespace lfpr {
+
+class DynamicDigraph {
+ public:
+  explicit DynamicDigraph(VertexId numVertices = 0);
+
+  static DynamicDigraph fromEdges(VertexId numVertices, std::span<const Edge> edges);
+  static DynamicDigraph fromCsr(const CsrGraph& g);
+
+  [[nodiscard]] VertexId numVertices() const noexcept {
+    return static_cast<VertexId>(out_.size());
+  }
+  [[nodiscard]] EdgeId numEdges() const noexcept { return numEdges_; }
+
+  [[nodiscard]] bool hasEdge(VertexId u, VertexId v) const noexcept;
+
+  /// Insert edge u -> v; returns false if it already existed.
+  bool addEdge(VertexId u, VertexId v);
+
+  /// Remove edge u -> v; returns false if absent.
+  bool removeEdge(VertexId u, VertexId v);
+
+  /// Apply a batch: deletions first, then insertions (so a batch may
+  /// delete and re-insert the same edge). Edges whose endpoints are out of
+  /// range throw; deletions of absent edges and duplicate insertions are
+  /// counted and reported.
+  struct ApplyReport {
+    std::size_t deleted = 0;
+    std::size_t missedDeletions = 0;  // deletion of an edge that was absent
+    std::size_t inserted = 0;
+    std::size_t duplicateInsertions = 0;
+  };
+  ApplyReport applyBatch(const BatchUpdate& batch);
+
+  /// Add a self-loop to every vertex that lacks one. The paper adds
+  /// self-loops to *all* vertices to eliminate dead ends, so the teleport
+  /// contribution of rank sinks never needs a global pass.
+  std::size_t ensureSelfLoops();
+
+  [[nodiscard]] std::span<const VertexId> out(VertexId u) const noexcept {
+    return out_[u];
+  }
+  [[nodiscard]] std::span<const VertexId> in(VertexId v) const noexcept { return in_[v]; }
+  [[nodiscard]] VertexId outDegree(VertexId u) const noexcept {
+    return static_cast<VertexId>(out_[u].size());
+  }
+
+  /// Immutable snapshot for engine consumption.
+  [[nodiscard]] CsrGraph toCsr() const;
+
+  /// All current edges in (src, dst) order.
+  [[nodiscard]] std::vector<Edge> edges() const;
+
+ private:
+  void checkVertex(VertexId v) const;
+
+  std::vector<std::vector<VertexId>> out_;
+  std::vector<std::vector<VertexId>> in_;
+  EdgeId numEdges_ = 0;
+};
+
+}  // namespace lfpr

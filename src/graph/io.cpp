@@ -1,0 +1,141 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace lfpr {
+
+namespace {
+
+bool isCommentOrBlank(const std::string& line) {
+  for (char c : line) {
+    if (c == ' ' || c == '\t' || c == '\r') continue;
+    return c == '#' || c == '%';
+  }
+  return true;  // blank
+}
+
+std::ifstream openOrThrow(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open file: " + path);
+  return f;
+}
+
+}  // namespace
+
+EdgeListData readEdgeList(std::istream& is) {
+  EdgeListData data;
+  std::string line;
+  VertexId maxId = 0;
+  bool any = false;
+  while (std::getline(is, line)) {
+    if (isCommentOrBlank(line)) continue;
+    std::istringstream ls(line);
+    std::uint64_t u = 0, v = 0;
+    if (!(ls >> u >> v)) throw std::runtime_error("malformed edge list line: " + line);
+    data.edges.push_back({static_cast<VertexId>(u), static_cast<VertexId>(v)});
+    maxId = std::max({maxId, static_cast<VertexId>(u), static_cast<VertexId>(v)});
+    any = true;
+  }
+  data.numVertices = any ? maxId + 1 : 0;
+  return data;
+}
+
+EdgeListData readEdgeListFile(const std::string& path) {
+  auto f = openOrThrow(path);
+  return readEdgeList(f);
+}
+
+TemporalEdgeListData readTemporalEdgeList(std::istream& is) {
+  TemporalEdgeListData data;
+  std::string line;
+  VertexId maxId = 0;
+  bool any = false;
+  while (std::getline(is, line)) {
+    if (isCommentOrBlank(line)) continue;
+    std::istringstream ls(line);
+    std::uint64_t u = 0, v = 0, t = 0;
+    if (!(ls >> u >> v >> t))
+      throw std::runtime_error("malformed temporal edge list line: " + line);
+    data.edges.push_back({static_cast<VertexId>(u), static_cast<VertexId>(v), t});
+    maxId = std::max({maxId, static_cast<VertexId>(u), static_cast<VertexId>(v)});
+    any = true;
+  }
+  data.numVertices = any ? maxId + 1 : 0;
+  return data;
+}
+
+TemporalEdgeListData readTemporalEdgeListFile(const std::string& path) {
+  auto f = openOrThrow(path);
+  return readTemporalEdgeList(f);
+}
+
+void writeEdgeList(std::ostream& os, const std::vector<Edge>& edges,
+                   const std::string& comment) {
+  if (!comment.empty()) os << "# " << comment << '\n';
+  for (const Edge& e : edges) os << e.src << ' ' << e.dst << '\n';
+}
+
+EdgeListData readMatrixMarket(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line.rfind("%%MatrixMarket", 0) != 0)
+    throw std::runtime_error("not a MatrixMarket file");
+
+  std::istringstream hs(line);
+  std::string tag, object, format, field, symmetry;
+  hs >> tag >> object >> format >> field >> symmetry;
+  if (format != "coordinate")
+    throw std::runtime_error("only coordinate MatrixMarket supported");
+  const bool symmetric = symmetry == "symmetric" || symmetry == "skew-symmetric";
+  const bool pattern = field == "pattern";
+
+  // Skip comments, read the size line.
+  while (std::getline(is, line)) {
+    if (!isCommentOrBlank(line)) break;
+  }
+  std::istringstream ss(line);
+  std::uint64_t rows = 0, cols = 0, nnz = 0;
+  if (!(ss >> rows >> cols >> nnz))
+    throw std::runtime_error("malformed MatrixMarket size line");
+
+  EdgeListData data;
+  data.numVertices = static_cast<VertexId>(std::max(rows, cols));
+  data.edges.reserve(symmetric ? 2 * nnz : nnz);
+  for (std::uint64_t i = 0; i < nnz; ++i) {
+    if (!std::getline(is, line))
+      throw std::runtime_error("MatrixMarket: unexpected end of file");
+    if (isCommentOrBlank(line)) {
+      --i;
+      continue;
+    }
+    std::istringstream ls(line);
+    std::uint64_t r = 0, c = 0;
+    double w = 0.0;
+    if (!(ls >> r >> c)) throw std::runtime_error("malformed MatrixMarket entry");
+    if (!pattern) ls >> w;  // discard weight if present
+    if (r == 0 || c == 0) throw std::runtime_error("MatrixMarket entries are 1-based");
+    const auto u = static_cast<VertexId>(r - 1);
+    const auto v = static_cast<VertexId>(c - 1);
+    data.edges.push_back({u, v});
+    if (symmetric && u != v) data.edges.push_back({v, u});
+  }
+  return data;
+}
+
+EdgeListData readMatrixMarketFile(const std::string& path) {
+  auto f = openOrThrow(path);
+  return readMatrixMarket(f);
+}
+
+void writeMatrixMarket(std::ostream& os, VertexId numVertices,
+                       const std::vector<Edge>& edges) {
+  os << "%%MatrixMarket matrix coordinate pattern general\n";
+  os << numVertices << ' ' << numVertices << ' ' << edges.size() << '\n';
+  for (const Edge& e : edges) os << (e.src + 1) << ' ' << (e.dst + 1) << '\n';
+}
+
+}  // namespace lfpr

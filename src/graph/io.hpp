@@ -1,0 +1,55 @@
+// Edge-list I/O in the two formats the paper's datasets ship in:
+// SNAP-style whitespace edge lists ("# comment" headers, one "u v" or
+// "u v t" per line) and MatrixMarket coordinate format (SuiteSparse).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace lfpr {
+
+/// A timestamped edge from a temporal network (Table 1 datasets).
+struct TemporalEdge {
+  VertexId src = 0;
+  VertexId dst = 0;
+  std::uint64_t time = 0;
+
+  friend bool operator==(const TemporalEdge&, const TemporalEdge&) = default;
+};
+
+struct EdgeListData {
+  VertexId numVertices = 0;  // 1 + max vertex id seen
+  std::vector<Edge> edges;
+};
+
+struct TemporalEdgeListData {
+  VertexId numVertices = 0;
+  std::vector<TemporalEdge> edges;  // in file order
+};
+
+/// Read a SNAP-style edge list: lines "u v", '#' or '%' comments ignored.
+EdgeListData readEdgeList(std::istream& is);
+EdgeListData readEdgeListFile(const std::string& path);
+
+/// Read a SNAP-style temporal edge list: lines "u v t".
+TemporalEdgeListData readTemporalEdgeList(std::istream& is);
+TemporalEdgeListData readTemporalEdgeListFile(const std::string& path);
+
+/// Write "u v" per line with a comment header.
+void writeEdgeList(std::ostream& os, const std::vector<Edge>& edges,
+                   const std::string& comment = {});
+
+/// Read MatrixMarket coordinate format. `general` and `symmetric`
+/// matrices are supported; symmetric entries produce both directions
+/// (the paper's treatment of undirected SuiteSparse graphs). Pattern and
+/// weighted matrices are both accepted; weights are discarded.
+EdgeListData readMatrixMarket(std::istream& is);
+EdgeListData readMatrixMarketFile(const std::string& path);
+
+void writeMatrixMarket(std::ostream& os, VertexId numVertices,
+                       const std::vector<Edge>& edges);
+
+}  // namespace lfpr

@@ -1,0 +1,26 @@
+#include "graph/stats.hpp"
+
+#include <algorithm>
+
+namespace lfpr {
+
+GraphStats computeStats(const CsrGraph& g) {
+  GraphStats s;
+  s.numVertices = g.numVertices();
+  s.numEdges = g.numEdges();
+  for (VertexId v = 0; v < g.numVertices(); ++v) {
+    const VertexId od = g.outDegree(v);
+    const VertexId id = g.inDegree(v);
+    s.maxOutDegree = std::max(s.maxOutDegree, od);
+    s.maxInDegree = std::max(s.maxInDegree, id);
+    if (od == 0) ++s.numDeadEnds;
+    if (od == 0 && id == 0) ++s.numIsolated;
+    if (g.hasEdge(v, v)) ++s.numSelfLoops;
+  }
+  s.avgOutDegree = s.numVertices == 0
+                       ? 0.0
+                       : static_cast<double>(s.numEdges) / static_cast<double>(s.numVertices);
+  return s;
+}
+
+}  // namespace lfpr

@@ -1,0 +1,22 @@
+// Descriptive graph statistics, used to print the dataset tables
+// (Tables 1 & 2 of the paper) and to sanity-check generators.
+#pragma once
+
+#include "graph/csr.hpp"
+
+namespace lfpr {
+
+struct GraphStats {
+  VertexId numVertices = 0;
+  EdgeId numEdges = 0;
+  double avgOutDegree = 0.0;
+  VertexId maxOutDegree = 0;
+  VertexId maxInDegree = 0;
+  VertexId numDeadEnds = 0;    // out-degree 0 (should be 0 after self-loops)
+  VertexId numSelfLoops = 0;
+  VertexId numIsolated = 0;    // in-degree + out-degree == 0
+};
+
+GraphStats computeStats(const CsrGraph& g);
+
+}  // namespace lfpr

@@ -1,0 +1,57 @@
+// Fundamental graph types shared across the library.
+//
+// Vertex ids are 32-bit (the paper's configuration, Section 5.1.2); edge
+// counts are 64-bit so billion-edge graphs remain representable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace lfpr {
+
+using VertexId = std::uint32_t;
+using EdgeId = std::uint64_t;
+
+/// A directed edge u -> v.
+struct Edge {
+  VertexId src = 0;
+  VertexId dst = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+/// A batch update Δt = (Δt-, Δt+): the paper's unit of graph change
+/// (Section 3.4). Deletions are edges present in G^{t-1} but not G^t;
+/// insertions the reverse.
+struct BatchUpdate {
+  std::vector<Edge> deletions;
+  std::vector<Edge> insertions;
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return deletions.size() + insertions.size();
+  }
+  [[nodiscard]] bool empty() const noexcept {
+    return deletions.empty() && insertions.empty();
+  }
+
+  /// The inverse batch: applying `b` then `b.inverted()` restores the
+  /// original graph. Used by the stability experiment (Section 5.2.3).
+  [[nodiscard]] BatchUpdate inverted() const {
+    return BatchUpdate{insertions, deletions};
+  }
+};
+
+struct EdgeHash {
+  std::size_t operator()(const Edge& e) const noexcept {
+    const std::uint64_t k = (static_cast<std::uint64_t>(e.src) << 32) | e.dst;
+    // SplitMix64 finalizer as the mixer.
+    std::uint64_t z = k + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(z ^ (z >> 31));
+  }
+};
+
+}  // namespace lfpr

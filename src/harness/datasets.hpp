@@ -1,0 +1,47 @@
+// Registry of deterministic synthetic stand-ins for the paper's datasets
+// (Tables 1 and 2). Each spec records which paper graph it substitutes
+// and that graph's published statistics so the dataset tables can print
+// paper-vs-generated side by side. See DESIGN.md Section 3 for why these
+// substitutions preserve the evaluated behaviour.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/dynamic_digraph.hpp"
+#include "graph/io.hpp"
+
+namespace lfpr {
+
+struct DatasetSpec {
+  std::string name;       // e.g. "indochina-2004-sim"
+  std::string family;     // web | social | road | kmer
+  std::string paperName;  // the SuiteSparse graph this stands in for
+  double paperVertices;   // published |V|
+  double paperEdges;      // published |E|
+  double paperAvgDegree;  // published D_avg
+  /// Builds the graph (self-loops included) from a seed.
+  std::function<DynamicDigraph(std::uint64_t seed)> build;
+};
+
+/// The 12 static stand-ins of Table 2. `scale`: 0 smoke, 1 default, 2 big.
+std::vector<DatasetSpec> staticDatasets(int scale);
+
+/// One representative per family (for expensive fault benches).
+std::vector<DatasetSpec> representativeDatasets(int scale);
+
+struct TemporalDatasetSpec {
+  std::string name;
+  std::string paperName;
+  double paperVertices;
+  double paperTemporalEdges;
+  double paperStaticEdges;
+  std::function<TemporalEdgeListData(std::uint64_t seed)> build;
+};
+
+/// The 2 temporal stand-ins of Table 1.
+std::vector<TemporalDatasetSpec> temporalDatasets(int scale);
+
+}  // namespace lfpr

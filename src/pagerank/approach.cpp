@@ -1,0 +1,24 @@
+// Uniform dispatch over the eight engines, used by the experiment
+// harness and the benches.
+#include "pagerank/pagerank.hpp"
+
+namespace lfpr {
+
+PageRankResult runApproach(Approach approach, const CsrGraph& prev,
+                           const CsrGraph& curr, const BatchUpdate& batch,
+                           std::span<const double> prevRanks,
+                           const PageRankOptions& opt, FaultInjector* fault) {
+  switch (approach) {
+    case Approach::StaticBB: return staticBB(curr, opt, fault);
+    case Approach::StaticLF: return staticLF(curr, opt, fault);
+    case Approach::NDBB: return ndBB(curr, prevRanks, opt, fault);
+    case Approach::NDLF: return ndLF(curr, prevRanks, opt, fault);
+    case Approach::DTBB: return dtBB(prev, curr, batch, prevRanks, opt, fault);
+    case Approach::DTLF: return dtLF(prev, curr, batch, prevRanks, opt, fault);
+    case Approach::DFBB: return dfBB(prev, curr, batch, prevRanks, opt, fault);
+    case Approach::DFLF: return dfLF(prev, curr, batch, prevRanks, opt, fault);
+  }
+  throw std::invalid_argument("runApproach: unknown approach");
+}
+
+}  // namespace lfpr

@@ -1,0 +1,118 @@
+// Atomic vectors backing the lock-free engines.
+//
+// The paper's LF implementations share a single rank vector and several
+// 8-bit flag vectors (VA affected, C checked, RC not-yet-converged)
+// between independently running threads. In C++ the concurrent plain
+// loads/stores would be data races, so we wrap std::atomic with relaxed
+// ordering — on x86-64 this compiles to the same mov instructions while
+// keeping behaviour defined. Accessors taking stronger orders exist for
+// the one place that needs them (the C "checked" helping flag, which
+// publishes the marking writes that precede it).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace lfpr {
+
+class AtomicF64Vector {
+ public:
+  AtomicF64Vector(std::size_t n, double init) : v_(n) { fill(init); }
+
+  explicit AtomicF64Vector(std::span<const double> init) : v_(init.size()) {
+    for (std::size_t i = 0; i < init.size(); ++i)
+      v_[i].store(init[i], std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] double load(std::size_t i) const noexcept {
+    return v_[i].load(std::memory_order_relaxed);
+  }
+  void store(std::size_t i, double x) noexcept {
+    v_[i].store(x, std::memory_order_relaxed);
+  }
+
+  void fill(double x) noexcept {
+    for (auto& a : v_) a.store(x, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return v_.size(); }
+
+  [[nodiscard]] std::vector<double> toVector() const {
+    std::vector<double> out(v_.size());
+    for (std::size_t i = 0; i < v_.size(); ++i)
+      out[i] = v_[i].load(std::memory_order_relaxed);
+    return out;
+  }
+
+ private:
+  std::vector<std::atomic<double>> v_;
+};
+
+class AtomicU8Vector {
+ public:
+  AtomicU8Vector(std::size_t n, std::uint8_t init) : v_(n) { fill(init); }
+
+  [[nodiscard]] std::uint8_t load(
+      std::size_t i, std::memory_order order = std::memory_order_relaxed) const noexcept {
+    return v_[i].load(order);
+  }
+  void store(std::size_t i, std::uint8_t x,
+             std::memory_order order = std::memory_order_relaxed) noexcept {
+    v_[i].store(x, order);
+  }
+
+  std::uint8_t exchange(std::size_t i, std::uint8_t x,
+                        std::memory_order order = std::memory_order_relaxed) noexcept {
+    return v_[i].exchange(x, order);
+  }
+
+  void fill(std::uint8_t x) noexcept {
+    for (auto& a : v_) a.store(x, std::memory_order_relaxed);
+  }
+
+  /// True iff every element is zero (the LF engines' convergence test:
+  /// "RC[v] = 0 for all v").
+  [[nodiscard]] bool allZero() const noexcept {
+    for (const auto& a : v_)
+      if (a.load(std::memory_order_relaxed) != 0) return false;
+    return true;
+  }
+
+  /// allZero() with a resume hint: starts scanning at `hint` (where the
+  /// last scan found a non-zero) and wraps. Unconverged vertices cluster,
+  /// so per-round convergence checks become ~O(1) until the final round.
+  [[nodiscard]] bool allZeroFrom(std::size_t& hint) const noexcept {
+    const std::size_t n = v_.size();
+    if (n == 0) return true;
+    if (hint >= n) hint = 0;
+    for (std::size_t i = hint; i < n; ++i) {
+      if (v_[i].load(std::memory_order_relaxed) != 0) {
+        hint = i;
+        return false;
+      }
+    }
+    for (std::size_t i = 0; i < hint; ++i) {
+      if (v_[i].load(std::memory_order_relaxed) != 0) {
+        hint = i;
+        return false;
+      }
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::uint64_t countNonZero() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& a : v_)
+      if (a.load(std::memory_order_relaxed) != 0) ++n;
+    return n;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return v_.size(); }
+
+ private:
+  std::vector<std::atomic<std::uint8_t>> v_;
+};
+
+}  // namespace lfpr

@@ -1,0 +1,50 @@
+// Shared engine internals: the rank-pull kernel (Equation 1 restricted to
+// one vertex) and small padded per-thread accumulators.
+#pragma once
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "pagerank/atomics.hpp"
+
+namespace lfpr::detail {
+
+struct alignas(64) PaddedDouble {
+  double value = 0.0;
+};
+
+struct alignas(64) PaddedU64 {
+  std::uint64_t value = 0;
+};
+
+/// r = (1-alpha)/n + alpha * sum_{u in G.in(v)} R[u] / outdeg(u),
+/// reading from a plain vector (synchronous BB engines).
+inline double pullRank(const CsrGraph& g, const std::vector<double>& ranks, VertexId v,
+                       double alpha, double base) noexcept {
+  double r = base;
+  for (VertexId u : g.in(v)) r += alpha * ranks[u] / g.outDegree(u);
+  return r;
+}
+
+/// Same, reading through the shared atomic rank vector (asynchronous LF
+/// engines; updates by other threads become visible mid-iteration, the
+/// Gauss-Seidel-like behaviour of Section 3.3.2).
+inline double pullRank(const CsrGraph& g, const AtomicF64Vector& ranks, VertexId v,
+                       double alpha, double base) noexcept {
+  double r = base;
+  for (VertexId u : g.in(v)) r += alpha * ranks.load(u) / g.outDegree(u);
+  return r;
+}
+
+/// a = max(a, v) without locks.
+inline void atomicMaxInt(std::atomic<int>& a, int v) noexcept {
+  int cur = a.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace lfpr::detail

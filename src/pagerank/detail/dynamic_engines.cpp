@@ -1,0 +1,157 @@
+#include "pagerank/detail/dynamic_engines.hpp"
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "pagerank/atomics.hpp"
+#include "pagerank/detail/lf_iterate.hpp"
+#include "pagerank/detail/marking.hpp"
+#include "pagerank/detail/power_bb.hpp"
+#include "sched/chunk_cursor.hpp"
+#include "sched/thread_team.hpp"
+#include "util/timer.hpp"
+
+namespace lfpr::detail {
+
+namespace {
+
+/// Dynamic-schedule chunk size for the batch-edge loop of the marking
+/// phase. Batches are usually much smaller than the vertex set, so a
+/// smaller chunk keeps the marking balanced.
+constexpr std::size_t kEdgeChunkSize = 256;
+
+std::vector<Edge> concatBatch(const BatchUpdate& batch) {
+  std::vector<Edge> edges;
+  edges.reserve(batch.size());
+  edges.insert(edges.end(), batch.deletions.begin(), batch.deletions.end());
+  edges.insert(edges.end(), batch.insertions.begin(), batch.insertions.end());
+  return edges;
+}
+
+void validateInputs(const CsrGraph& prev, const CsrGraph& curr,
+                    const BatchUpdate& batch, std::span<const double> prevRanks,
+                    const char* name) {
+  if (prevRanks.size() != curr.numVertices())
+    throw std::invalid_argument(std::string(name) + ": prevRanks size must match graph");
+  if (prev.numVertices() != curr.numVertices())
+    throw std::invalid_argument(
+        std::string(name) +
+        ": snapshots must share the vertex set (no vertex insertions/deletions)");
+  for (const Edge& e : batch.deletions)
+    if (e.src >= curr.numVertices() || e.dst >= curr.numVertices())
+      throw std::out_of_range(std::string(name) + ": batch edge out of range");
+  for (const Edge& e : batch.insertions)
+    if (e.src >= curr.numVertices() || e.dst >= curr.numVertices())
+      throw std::out_of_range(std::string(name) + ": batch edge out of range");
+}
+
+}  // namespace
+
+PageRankResult dynamicBB(const CsrGraph& prev, const CsrGraph& curr,
+                         const BatchUpdate& batch, std::span<const double> prevRanks,
+                         const PageRankOptions& opt, FaultInjector* fault,
+                         bool traverse, bool expandFrontier) {
+  validateInputs(prev, curr, batch, prevRanks, traverse ? "dtBB" : "dfBB");
+  const std::size_t n = curr.numVertices();
+  if (n == 0) {
+    PageRankResult result;
+    result.converged = true;
+    return result;
+  }
+
+  const std::vector<Edge> edges = concatBatch(batch);
+  AtomicU8Vector affected(n, 0);
+  AtomicU8Vector notConverged(n, 0);  // unused by BB iterate; fed by marking
+  AtomicU8Vector checked(n, 0);
+  ChunkCursor markCursor(edges.size(), kEdgeChunkSize);
+
+  ThreadTeam team(opt.numThreads);
+  const Stopwatch markTimer;
+  team.run([&](int tid) {
+    if (fault != nullptr && fault->crashed(tid)) return;
+    const MarkShared shared{prev,      curr,         edges,      checked,
+                            affected,  notConverged, nullptr,    opt.chunkSize,
+                            markCursor, traverse,    fault};
+    markAffectedWorker(shared, tid);
+  });
+  const double markMs = markTimer.elapsedMs();
+
+  BBParams params;
+  params.affected = &affected;
+  params.expandFrontier = expandFrontier;
+  PageRankResult result = powerIterateBB(
+      curr, {prevRanks.begin(), prevRanks.end()}, opt, fault, params);
+  result.timeMs += markMs;
+  result.affectedVertices = affected.countNonZero();
+  return result;
+}
+
+PageRankResult dynamicLF(const CsrGraph& prev, const CsrGraph& curr,
+                         const BatchUpdate& batch, std::span<const double> prevRanks,
+                         const PageRankOptions& opt, FaultInjector* fault,
+                         bool traverse, bool expandFrontier) {
+  validateInputs(prev, curr, batch, prevRanks, traverse ? "dtLF" : "dfLF");
+  PageRankResult result;
+  const std::size_t n = curr.numVertices();
+  if (n == 0) {
+    result.converged = true;
+    return result;
+  }
+
+  ThreadTeam team(opt.numThreads);
+  PageRankOptions resolved = opt;
+  resolved.numThreads = team.size();
+
+  const std::vector<Edge> edges = concatBatch(batch);
+  AtomicF64Vector ranks{prevRanks};
+  AtomicU8Vector affected(n, 0);
+  AtomicU8Vector notConverged(n, 0);
+  AtomicU8Vector checked(n, 0);
+
+  const std::size_t numChunks = (n + resolved.chunkSize - 1) / resolved.chunkSize;
+  AtomicU8Vector chunkFlags(resolved.perChunkConvergence ? numChunks : 0, 0);
+  AtomicU8Vector* chunkFlagsPtr = resolved.perChunkConvergence ? &chunkFlags : nullptr;
+
+  ChunkCursor markCursor(edges.size(), kEdgeChunkSize);
+  RoundCursorSet rounds(n, resolved.chunkSize,
+                        static_cast<std::size_t>(resolved.maxIterations));
+  std::atomic<bool> allConverged{false};
+  std::atomic<int> maxRound{0};
+  std::atomic<std::uint64_t> rankUpdates{0};
+
+  const Stopwatch timer;
+  team.run([&](int tid) {
+    if (fault != nullptr && fault->crashed(tid)) return;
+    const MarkShared mark{prev,       curr,         edges,         checked,
+                          affected,   notConverged, chunkFlagsPtr, resolved.chunkSize,
+                          markCursor, traverse,     fault};
+    if (!markAffectedWorker(mark, tid)) return;  // crashed mid-marking
+
+    const LfShared iterate{curr,
+                           ranks,
+                           notConverged,
+                           &affected,
+                           expandFrontier,
+                           chunkFlagsPtr,
+                           rounds,
+                           allConverged,
+                           maxRound,
+                           rankUpdates,
+                           resolved,
+                           fault};
+    lfIterateWorker(iterate, tid);
+  });
+  result.timeMs = timer.elapsedMs();
+
+  result.converged =
+      allConverged.load() ||
+      (chunkFlagsPtr != nullptr ? chunkFlags.allZero() : notConverged.allZero());
+  result.iterations = maxRound.load();
+  result.rankUpdates = rankUpdates.load();
+  result.affectedVertices = affected.countNonZero();
+  result.ranks = ranks.toVector();
+  return result;
+}
+
+}  // namespace lfpr::detail

@@ -1,0 +1,26 @@
+// Shared scaffolding for the four dynamic engines (DT/DF x BB/LF):
+// validate inputs, concatenate the batch, run the marking phase, then the
+// chosen iteration core. `traverse` selects Dynamic Traversal
+// (reachability marking) vs Dynamic Frontier (out-neighbour marking);
+// `expandFrontier` enables DF's incremental marking during iteration.
+#pragma once
+
+#include <span>
+
+#include "graph/csr.hpp"
+#include "pagerank/options.hpp"
+#include "sched/fault.hpp"
+
+namespace lfpr::detail {
+
+PageRankResult dynamicBB(const CsrGraph& prev, const CsrGraph& curr,
+                         const BatchUpdate& batch, std::span<const double> prevRanks,
+                         const PageRankOptions& opt, FaultInjector* fault,
+                         bool traverse, bool expandFrontier);
+
+PageRankResult dynamicLF(const CsrGraph& prev, const CsrGraph& curr,
+                         const BatchUpdate& batch, std::span<const double> prevRanks,
+                         const PageRankOptions& opt, FaultInjector* fault,
+                         bool traverse, bool expandFrontier);
+
+}  // namespace lfpr::detail

@@ -1,0 +1,112 @@
+#include "pagerank/detail/lf_iterate.hpp"
+
+#include <cmath>
+
+#include "pagerank/detail/common.hpp"
+
+namespace lfpr::detail {
+
+namespace {
+
+/// Process vertices [begin, end); returns false if this thread crashed.
+bool processRange(const LfShared& s, int tid, std::size_t begin, std::size_t end,
+                  std::uint64_t& updates, bool& anyUnconverged) {
+  const CsrGraph& g = s.graph;
+  const double alpha = s.opt.alpha;
+  const double base = (1.0 - alpha) / static_cast<double>(g.numVertices());
+  const double tau = s.opt.tolerance;
+  const double tauF = s.opt.frontierTolerance;
+
+  for (std::size_t i = begin; i < end; ++i) {
+    const auto v = static_cast<VertexId>(i);
+    if (s.affected != nullptr && s.affected->load(v) == 0) continue;
+
+    const double old = s.ranks.load(v);
+    const double r = pullRank(g, s.ranks, v, alpha, base);
+    const double dr = std::fabs(r - old);
+    s.ranks.store(v, r);
+    ++updates;
+
+    if (s.expandFrontier && dr > tauF) {
+      for (VertexId w : g.out(v)) {
+        s.affected->store(w, 1);
+        s.notConverged.store(w, 1);
+        if (s.chunkFlags != nullptr)
+          s.chunkFlags->store(w / s.opt.chunkSize, 1);
+      }
+    }
+    if (dr <= tau) {
+      if (s.notConverged.load(v) == 1) s.notConverged.store(v, 0);
+    } else {
+      anyUnconverged = true;
+      if (s.chunkFlags != nullptr) s.chunkFlags->store(i / s.opt.chunkSize, 1);
+    }
+
+    if (s.fault != nullptr && !s.fault->onVertexProcessed(tid)) return false;
+  }
+  return true;
+}
+
+bool convergedNow(const LfShared& s, std::size_t& scanHint) {
+  return s.chunkFlags != nullptr ? s.chunkFlags->allZeroFrom(scanHint)
+                                 : s.notConverged.allZeroFrom(scanHint);
+}
+
+}  // namespace
+
+void lfIterateWorker(const LfShared& s, int tid) {
+  const std::size_t n = s.graph.numVertices();
+  std::uint64_t updates = 0;
+  std::size_t scanHint = 0;  // resume point for this thread's convergence scans
+  const int maxRounds = s.opt.maxIterations;
+
+  // Static-schedule ablation (Eedi et al. style): each thread owns a fixed
+  // stripe of the vertex range instead of pulling dynamic chunks.
+  std::size_t stripeBegin = 0, stripeEnd = n;
+  if (s.opt.staticSchedule) {
+    const auto t = static_cast<std::size_t>(tid);
+    const auto numThreads = static_cast<std::size_t>(s.opt.numThreads > 0
+                                                         ? s.opt.numThreads
+                                                         : 1);
+    stripeBegin = n * t / numThreads;
+    stripeEnd = n * (t + 1) / numThreads;
+  }
+
+  for (int round = 0; round < maxRounds; ++round) {
+    if (s.allConverged.load(std::memory_order_relaxed)) break;
+
+    if (s.opt.staticSchedule) {
+      bool anyUnconverged = false;
+      if (!processRange(s, tid, stripeBegin, stripeEnd, updates, anyUnconverged)) {
+        s.rankUpdates.fetch_add(updates, std::memory_order_relaxed);
+        return;  // crashed
+      }
+      if (s.chunkFlags != nullptr && !anyUnconverged && stripeEnd > stripeBegin) {
+        for (std::size_t c = stripeBegin / s.opt.chunkSize;
+             c <= (stripeEnd - 1) / s.opt.chunkSize; ++c)
+          s.chunkFlags->store(c, 0);
+      }
+    } else {
+      std::size_t begin = 0, end = 0;
+      while (!s.allConverged.load(std::memory_order_relaxed) &&
+             s.rounds.next(static_cast<std::size_t>(round), begin, end)) {
+        bool anyUnconverged = false;
+        if (!processRange(s, tid, begin, end, updates, anyUnconverged)) {
+          s.rankUpdates.fetch_add(updates, std::memory_order_relaxed);
+          return;  // crashed
+        }
+        if (s.chunkFlags != nullptr && !anyUnconverged)
+          s.chunkFlags->store(begin / s.opt.chunkSize, 0);
+      }
+    }
+
+    atomicMaxInt(s.maxRound, round + 1);
+    if (convergedNow(s, scanHint)) {
+      s.allConverged.store(true, std::memory_order_relaxed);
+      break;
+    }
+  }
+  s.rankUpdates.fetch_add(updates, std::memory_order_relaxed);
+}
+
+}  // namespace lfpr::detail

@@ -1,0 +1,30 @@
+// Barrier-based power-iteration core shared by StaticBB, NDBB, DTBB and
+// DFBB (Algorithms 3, 5, 7 and 1). Synchronous Jacobi-style iteration
+// with two rank vectors swapped at the iteration barrier.
+#pragma once
+
+#include <span>
+
+#include "graph/csr.hpp"
+#include "pagerank/atomics.hpp"
+#include "pagerank/options.hpp"
+#include "sched/fault.hpp"
+
+namespace lfpr::detail {
+
+struct BBParams {
+  /// When set, only vertices with affected[v] != 0 are processed
+  /// (Dynamic Traversal / Dynamic Frontier restriction).
+  AtomicU8Vector* affected = nullptr;
+  /// Dynamic Frontier incremental marking: when a vertex's rank changes
+  /// by more than frontierTolerance, mark its out-neighbours affected.
+  bool expandFrontier = false;
+};
+
+/// Iterates to convergence (or maxIterations / barrier breakage) starting
+/// from `init`. Fills every PageRankResult field except affectedVertices.
+PageRankResult powerIterateBB(const CsrGraph& g, std::vector<double> init,
+                              const PageRankOptions& opt, FaultInjector* fault,
+                              const BBParams& params = {});
+
+}  // namespace lfpr::detail

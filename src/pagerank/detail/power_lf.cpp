@@ -1,0 +1,62 @@
+#include "pagerank/detail/power_lf.hpp"
+
+#include <atomic>
+
+#include "pagerank/atomics.hpp"
+#include "pagerank/detail/lf_iterate.hpp"
+#include "sched/chunk_cursor.hpp"
+#include "sched/thread_team.hpp"
+#include "util/timer.hpp"
+
+namespace lfpr::detail {
+
+PageRankResult powerIterateLF(const CsrGraph& g, std::vector<double> init,
+                              const PageRankOptions& opt, FaultInjector* fault) {
+  PageRankResult result;
+  const std::size_t n = g.numVertices();
+  if (n == 0) {
+    result.converged = true;
+    return result;
+  }
+
+  ThreadTeam team(opt.numThreads);
+  PageRankOptions resolved = opt;
+  resolved.numThreads = team.size();
+
+  AtomicF64Vector ranks{std::span<const double>(init)};
+  // Paper Algorithm 4 note: RC semantics are 1 = "rank has not yet
+  // converged"; every vertex starts unconverged for Static/ND.
+  AtomicU8Vector notConverged(n, 1);
+  RoundCursorSet rounds(n, resolved.chunkSize,
+                        static_cast<std::size_t>(resolved.maxIterations));
+  std::atomic<bool> allConverged{false};
+  std::atomic<int> maxRound{0};
+  std::atomic<std::uint64_t> rankUpdates{0};
+
+  const Stopwatch timer;
+  team.run([&](int tid) {
+    if (fault != nullptr && fault->crashed(tid)) return;
+    const LfShared shared{g,
+                          ranks,
+                          notConverged,
+                          /*affected=*/nullptr,
+                          /*expandFrontier=*/false,
+                          /*chunkFlags=*/nullptr,
+                          rounds,
+                          allConverged,
+                          maxRound,
+                          rankUpdates,
+                          resolved,
+                          fault};
+    lfIterateWorker(shared, tid);
+  });
+  result.timeMs = timer.elapsedMs();
+
+  result.converged = allConverged.load() || notConverged.allZero();
+  result.iterations = maxRound.load();
+  result.rankUpdates = rankUpdates.load();
+  result.ranks = ranks.toVector();
+  return result;
+}
+
+}  // namespace lfpr::detail

@@ -1,0 +1,16 @@
+// Lock-free power-iteration entry point shared by StaticLF and NDLF:
+// spawns the team and runs lfIterateWorker over the whole vertex set.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "pagerank/options.hpp"
+#include "sched/fault.hpp"
+
+namespace lfpr::detail {
+
+PageRankResult powerIterateLF(const CsrGraph& g, std::vector<double> init,
+                              const PageRankOptions& opt, FaultInjector* fault);
+
+}  // namespace lfpr::detail

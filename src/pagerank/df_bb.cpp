@@ -1,0 +1,17 @@
+// Barrier-based Dynamic Frontier PageRank (Algorithm 1): mark the
+// out-neighbours of each batch source, then iterate synchronously over
+// affected vertices, expanding the frontier whenever a rank moves by more
+// than the frontier tolerance.
+#include "pagerank/detail/dynamic_engines.hpp"
+#include "pagerank/pagerank.hpp"
+
+namespace lfpr {
+
+PageRankResult dfBB(const CsrGraph& prev, const CsrGraph& curr, const BatchUpdate& batch,
+                    std::span<const double> prevRanks, const PageRankOptions& opt,
+                    FaultInjector* fault) {
+  return detail::dynamicBB(prev, curr, batch, prevRanks, opt, fault,
+                           /*traverse=*/false, /*expandFrontier=*/true);
+}
+
+}  // namespace lfpr

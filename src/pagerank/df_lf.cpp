@@ -1,0 +1,20 @@
+// Lock-free, fault-tolerant Dynamic Frontier PageRank (Algorithm 2) —
+// the paper's primary contribution. Phase 1 marks initially affected
+// vertices with the helping mechanism (checked flags C); phase 2 iterates
+// asynchronously over affected vertices with per-vertex converged flags
+// RC and incremental frontier expansion. No barrier separates the phases:
+// a thread moves on once it has *verified* (or re-done) everyone's
+// marking work.
+#include "pagerank/detail/dynamic_engines.hpp"
+#include "pagerank/pagerank.hpp"
+
+namespace lfpr {
+
+PageRankResult dfLF(const CsrGraph& prev, const CsrGraph& curr, const BatchUpdate& batch,
+                    std::span<const double> prevRanks, const PageRankOptions& opt,
+                    FaultInjector* fault) {
+  return detail::dynamicLF(prev, curr, batch, prevRanks, opt, fault,
+                           /*traverse=*/false, /*expandFrontier=*/true);
+}
+
+}  // namespace lfpr

@@ -1,0 +1,16 @@
+// Barrier-based Dynamic Traversal PageRank (Algorithm 7): DFS marks
+// everything reachable from the batch's sources, then a synchronous
+// iterate restricted to marked vertices.
+#include "pagerank/detail/dynamic_engines.hpp"
+#include "pagerank/pagerank.hpp"
+
+namespace lfpr {
+
+PageRankResult dtBB(const CsrGraph& prev, const CsrGraph& curr, const BatchUpdate& batch,
+                    std::span<const double> prevRanks, const PageRankOptions& opt,
+                    FaultInjector* fault) {
+  return detail::dynamicBB(prev, curr, batch, prevRanks, opt, fault,
+                           /*traverse=*/true, /*expandFrontier=*/false);
+}
+
+}  // namespace lfpr

@@ -1,0 +1,14 @@
+// Lock-free Dynamic Traversal PageRank (Algorithm 8).
+#include "pagerank/detail/dynamic_engines.hpp"
+#include "pagerank/pagerank.hpp"
+
+namespace lfpr {
+
+PageRankResult dtLF(const CsrGraph& prev, const CsrGraph& curr, const BatchUpdate& batch,
+                    std::span<const double> prevRanks, const PageRankOptions& opt,
+                    FaultInjector* fault) {
+  return detail::dynamicLF(prev, curr, batch, prevRanks, opt, fault,
+                           /*traverse=*/true, /*expandFrontier=*/false);
+}
+
+}  // namespace lfpr

@@ -1,0 +1,20 @@
+// Error metrics. The paper measures accuracy as the L-inf norm between an
+// approach's ranks and reference ranks computed on the updated graph
+// (Section 5.1.5).
+#pragma once
+
+#include <span>
+
+namespace lfpr {
+
+/// max_i |a[i] - b[i]|; spans must have equal length.
+double linfNorm(std::span<const double> a, std::span<const double> b);
+
+/// sum_i |a[i] - b[i]|.
+double l1Norm(std::span<const double> a, std::span<const double> b);
+
+/// sum_i a[i] — with self-loops on every vertex PageRank mass is
+/// conserved, so this should stay ~1.
+double rankSum(std::span<const double> ranks);
+
+}  // namespace lfpr

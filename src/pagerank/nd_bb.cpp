@@ -1,0 +1,19 @@
+// Barrier-based Naive-dynamic PageRank (Algorithm 5): a full synchronous
+// rerun on the updated graph, warm-started from the previous snapshot's
+// ranks.
+#include <stdexcept>
+
+#include "pagerank/detail/power_bb.hpp"
+#include "pagerank/pagerank.hpp"
+
+namespace lfpr {
+
+PageRankResult ndBB(const CsrGraph& curr, std::span<const double> prevRanks,
+                    const PageRankOptions& opt, FaultInjector* fault) {
+  if (prevRanks.size() != curr.numVertices())
+    throw std::invalid_argument("ndBB: prevRanks size must match graph");
+  return detail::powerIterateBB(curr, {prevRanks.begin(), prevRanks.end()}, opt,
+                                fault);
+}
+
+}  // namespace lfpr

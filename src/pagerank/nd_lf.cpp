@@ -1,0 +1,17 @@
+// Lock-free Naive-dynamic PageRank (Algorithm 6).
+#include <stdexcept>
+
+#include "pagerank/detail/power_lf.hpp"
+#include "pagerank/pagerank.hpp"
+
+namespace lfpr {
+
+PageRankResult ndLF(const CsrGraph& curr, std::span<const double> prevRanks,
+                    const PageRankOptions& opt, FaultInjector* fault) {
+  if (prevRanks.size() != curr.numVertices())
+    throw std::invalid_argument("ndLF: prevRanks size must match graph");
+  return detail::powerIterateLF(curr, {prevRanks.begin(), prevRanks.end()}, opt,
+                                fault);
+}
+
+}  // namespace lfpr

@@ -1,0 +1,244 @@
+#include "pagerank/omp_engines.hpp"
+
+#include <omp.h>
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "pagerank/atomics.hpp"
+#include "pagerank/detail/common.hpp"
+#include "pagerank/detail/lf_iterate.hpp"
+#include "pagerank/detail/marking.hpp"
+#include "sched/chunk_cursor.hpp"
+#include "util/timer.hpp"
+
+namespace lfpr::omp {
+
+bool available() noexcept { return true; }
+
+int threadsFor(const PageRankOptions& opt) noexcept {
+  return opt.numThreads > 0 ? opt.numThreads : omp_get_max_threads();
+}
+
+namespace {
+
+/// Synchronous BB iterate with OpenMP parallel-for; optionally restricted
+/// to affected vertices with DF frontier expansion.
+PageRankResult ompPowerBB(const CsrGraph& g, std::vector<double> init,
+                          const PageRankOptions& opt, AtomicU8Vector* affected,
+                          bool expandFrontier) {
+  PageRankResult result;
+  const std::size_t n = g.numVertices();
+  if (n == 0) {
+    result.converged = true;
+    return result;
+  }
+  const int numThreads = threadsFor(opt);
+  std::vector<double> ranks = std::move(init);
+  std::vector<double> ranksNew = ranks;
+  const double alpha = opt.alpha;
+  const double base = (1.0 - alpha) / static_cast<double>(n);
+  const auto chunk = static_cast<int>(opt.chunkSize);
+  std::uint64_t updates = 0;
+
+  const Stopwatch timer;
+  for (int it = 0; it < opt.maxIterations; ++it) {
+    double delta = 0.0;
+    std::uint64_t iterUpdates = 0;
+#pragma omp parallel for schedule(dynamic, chunk) num_threads(numThreads) \
+    reduction(max : delta) reduction(+ : iterUpdates)
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+      const auto v = static_cast<VertexId>(i);
+      if (affected != nullptr && affected->load(v) == 0) continue;
+      const double r = detail::pullRank(g, ranks, v, alpha, base);
+      const double dr = std::fabs(r - ranks[v]);
+      ranksNew[v] = r;
+      delta = std::max(delta, dr);
+      ++iterUpdates;
+      if (expandFrontier && dr > opt.frontierTolerance)
+        for (VertexId w : g.out(v)) affected->store(w, 1);
+    }
+    updates += iterUpdates;
+    ranks.swap(ranksNew);
+    result.iterations = it + 1;
+    if (delta <= opt.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.timeMs = timer.elapsedMs();
+  result.rankUpdates = updates;
+  result.ranks = std::move(ranks);
+  return result;
+}
+
+/// Asynchronous LF iterate: the shared lock-free worker inside one
+/// OpenMP parallel region.
+PageRankResult ompPowerLF(const CsrGraph& g, std::vector<double> init,
+                          const PageRankOptions& opt) {
+  PageRankResult result;
+  const std::size_t n = g.numVertices();
+  if (n == 0) {
+    result.converged = true;
+    return result;
+  }
+  const int numThreads = threadsFor(opt);
+  PageRankOptions resolved = opt;
+  resolved.numThreads = numThreads;
+
+  AtomicF64Vector ranks{std::span<const double>(init)};
+  AtomicU8Vector notConverged(n, 1);
+  RoundCursorSet rounds(n, resolved.chunkSize,
+                        static_cast<std::size_t>(resolved.maxIterations));
+  std::atomic<bool> allConverged{false};
+  std::atomic<int> maxRound{0};
+  std::atomic<std::uint64_t> rankUpdates{0};
+
+  const Stopwatch timer;
+#pragma omp parallel num_threads(numThreads)
+  {
+    const int tid = omp_get_thread_num();
+    const detail::LfShared shared{g,
+                                  ranks,
+                                  notConverged,
+                                  nullptr,
+                                  false,
+                                  nullptr,
+                                  rounds,
+                                  allConverged,
+                                  maxRound,
+                                  rankUpdates,
+                                  resolved,
+                                  nullptr};
+    detail::lfIterateWorker(shared, tid);
+  }
+  result.timeMs = timer.elapsedMs();
+  result.converged = allConverged.load() || notConverged.allZero();
+  result.iterations = maxRound.load();
+  result.rankUpdates = rankUpdates.load();
+  result.ranks = ranks.toVector();
+  return result;
+}
+
+std::vector<Edge> concatBatch(const BatchUpdate& batch) {
+  std::vector<Edge> edges;
+  edges.reserve(batch.size());
+  edges.insert(edges.end(), batch.deletions.begin(), batch.deletions.end());
+  edges.insert(edges.end(), batch.insertions.begin(), batch.insertions.end());
+  return edges;
+}
+
+}  // namespace
+
+PageRankResult staticBB(const CsrGraph& curr, const PageRankOptions& opt) {
+  const std::size_t n = curr.numVertices();
+  std::vector<double> init(n, n > 0 ? 1.0 / static_cast<double>(n) : 0.0);
+  return ompPowerBB(curr, std::move(init), opt, nullptr, false);
+}
+
+PageRankResult staticLF(const CsrGraph& curr, const PageRankOptions& opt) {
+  const std::size_t n = curr.numVertices();
+  std::vector<double> init(n, n > 0 ? 1.0 / static_cast<double>(n) : 0.0);
+  return ompPowerLF(curr, std::move(init), opt);
+}
+
+PageRankResult ndBB(const CsrGraph& curr, std::span<const double> prevRanks,
+                    const PageRankOptions& opt) {
+  if (prevRanks.size() != curr.numVertices())
+    throw std::invalid_argument("omp::ndBB: prevRanks size must match graph");
+  return ompPowerBB(curr, {prevRanks.begin(), prevRanks.end()}, opt, nullptr, false);
+}
+
+PageRankResult ndLF(const CsrGraph& curr, std::span<const double> prevRanks,
+                    const PageRankOptions& opt) {
+  if (prevRanks.size() != curr.numVertices())
+    throw std::invalid_argument("omp::ndLF: prevRanks size must match graph");
+  return ompPowerLF(curr, {prevRanks.begin(), prevRanks.end()}, opt);
+}
+
+PageRankResult dfBB(const CsrGraph& prev, const CsrGraph& curr, const BatchUpdate& batch,
+                    std::span<const double> prevRanks, const PageRankOptions& opt) {
+  if (prevRanks.size() != curr.numVertices())
+    throw std::invalid_argument("omp::dfBB: prevRanks size must match graph");
+  const std::size_t n = curr.numVertices();
+  AtomicU8Vector affected(n, 0);
+  const std::vector<Edge> edges = concatBatch(batch);
+  const int numThreads = threadsFor(opt);
+
+  const Stopwatch markTimer;
+#pragma omp parallel for schedule(dynamic, 256) num_threads(numThreads)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(edges.size()); ++i) {
+    const VertexId u = edges[static_cast<std::size_t>(i)].src;
+    if (u < prev.numVertices())
+      for (VertexId w : prev.out(u)) affected.store(w, 1);
+    for (VertexId w : curr.out(u)) affected.store(w, 1);
+  }
+  const double markMs = markTimer.elapsedMs();
+
+  PageRankResult result =
+      ompPowerBB(curr, {prevRanks.begin(), prevRanks.end()}, opt, &affected, true);
+  result.timeMs += markMs;
+  result.affectedVertices = affected.countNonZero();
+  return result;
+}
+
+PageRankResult dfLF(const CsrGraph& prev, const CsrGraph& curr, const BatchUpdate& batch,
+                    std::span<const double> prevRanks, const PageRankOptions& opt) {
+  if (prevRanks.size() != curr.numVertices())
+    throw std::invalid_argument("omp::dfLF: prevRanks size must match graph");
+  PageRankResult result;
+  const std::size_t n = curr.numVertices();
+  if (n == 0) {
+    result.converged = true;
+    return result;
+  }
+  const int numThreads = threadsFor(opt);
+  PageRankOptions resolved = opt;
+  resolved.numThreads = numThreads;
+
+  const std::vector<Edge> edges = concatBatch(batch);
+  AtomicF64Vector ranks{prevRanks};
+  AtomicU8Vector affected(n, 0);
+  AtomicU8Vector notConverged(n, 0);
+  AtomicU8Vector checked(n, 0);
+  ChunkCursor markCursor(edges.size(), 256);
+  RoundCursorSet rounds(n, resolved.chunkSize,
+                        static_cast<std::size_t>(resolved.maxIterations));
+  std::atomic<bool> allConverged{false};
+  std::atomic<int> maxRound{0};
+  std::atomic<std::uint64_t> rankUpdates{0};
+
+  const Stopwatch timer;
+#pragma omp parallel num_threads(numThreads)
+  {
+    const int tid = omp_get_thread_num();
+    const detail::MarkShared mark{prev,       curr,         edges,   checked,
+                                  affected,   notConverged, nullptr, resolved.chunkSize,
+                                  markCursor, false,        nullptr};
+    detail::markAffectedWorker(mark, tid);
+    const detail::LfShared iterate{curr,
+                                   ranks,
+                                   notConverged,
+                                   &affected,
+                                   true,
+                                   nullptr,
+                                   rounds,
+                                   allConverged,
+                                   maxRound,
+                                   rankUpdates,
+                                   resolved,
+                                   nullptr};
+    detail::lfIterateWorker(iterate, tid);
+  }
+  result.timeMs = timer.elapsedMs();
+  result.converged = allConverged.load() || notConverged.allZero();
+  result.iterations = maxRound.load();
+  result.rankUpdates = rankUpdates.load();
+  result.affectedVertices = affected.countNonZero();
+  result.ranks = ranks.toVector();
+  return result;
+}
+
+}  // namespace lfpr::omp

@@ -1,0 +1,46 @@
+// OpenMP variants of the engines (namespace lfpr::omp).
+//
+// The paper's published implementation runs on OpenMP with
+// `schedule(dynamic, 2048)` and `nowait`. The primary engines in this
+// library run on the custom ThreadTeam runtime because the experiments
+// need barrier instrumentation and genuine crash-stop injection (see
+// DESIGN.md); these variants demonstrate that the algorithms are
+// runtime-agnostic and give an OpenMP cross-check for the benches.
+//
+// Notes:
+//  * BB engines use a conforming `#pragma omp parallel for
+//    schedule(dynamic, chunk)` per iteration.
+//  * LF engines run the same lock-free worker as the native engines
+//    inside one `#pragma omp parallel` region. (Back-to-back `omp for
+//    nowait` loops where threads break at different rounds are
+//    non-conforming OpenMP, so chunk distribution uses the lock-free
+//    cursor — semantically identical to dynamic-nowait scheduling.)
+//  * Fault injection is a feature of the native runtime; these variants
+//    do not take a FaultInjector.
+#pragma once
+
+#include <span>
+
+#include "graph/csr.hpp"
+#include "pagerank/options.hpp"
+
+namespace lfpr::omp {
+
+/// True when the library was built with OpenMP support.
+bool available() noexcept;
+
+/// Worker threads an engine call will use for the given options.
+int threadsFor(const PageRankOptions& opt) noexcept;
+
+PageRankResult staticBB(const CsrGraph& curr, const PageRankOptions& opt = {});
+PageRankResult staticLF(const CsrGraph& curr, const PageRankOptions& opt = {});
+PageRankResult ndBB(const CsrGraph& curr, std::span<const double> prevRanks,
+                    const PageRankOptions& opt = {});
+PageRankResult ndLF(const CsrGraph& curr, std::span<const double> prevRanks,
+                    const PageRankOptions& opt = {});
+PageRankResult dfBB(const CsrGraph& prev, const CsrGraph& curr, const BatchUpdate& batch,
+                    std::span<const double> prevRanks, const PageRankOptions& opt = {});
+PageRankResult dfLF(const CsrGraph& prev, const CsrGraph& curr, const BatchUpdate& batch,
+                    std::span<const double> prevRanks, const PageRankOptions& opt = {});
+
+}  // namespace lfpr::omp

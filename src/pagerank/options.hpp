@@ -1,0 +1,100 @@
+// Options and results shared by all eight PageRank engines.
+//
+// Defaults mirror the paper's configuration (Section 5.1.2): damping
+// factor 0.85, iteration tolerance 1e-10 under the L-inf norm, frontier
+// tolerance tau/1000 (Section 4.5), at most 500 iterations, dynamic
+// chunks of 2048 vertices.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace lfpr {
+
+struct PageRankOptions {
+  /// Damping factor alpha.
+  double alpha = 0.85;
+  /// Iteration tolerance tau (L-inf over consecutive iterations).
+  double tolerance = 1e-10;
+  /// Frontier tolerance tau_f: a rank change above this marks the
+  /// vertex's out-neighbours as affected (Dynamic Frontier only).
+  double frontierTolerance = 1e-13;
+  /// Iteration cap (paper: 500).
+  int maxIterations = 500;
+  /// Worker threads; <= 0 selects hardware concurrency.
+  int numThreads = 0;
+  /// Vertices per dynamically-scheduled chunk.
+  std::size_t chunkSize = 2048;
+  /// DF-LF ablation: per-chunk instead of per-vertex converged flags
+  /// ("one may use a per-chunk converged flag for even faster detection
+  /// of convergence", Section 4.3).
+  bool perChunkConvergence = false;
+  /// Static-LF ablation: fixed per-thread vertex partitions instead of
+  /// dynamic chunks — the Eedi et al. scheduling the paper improves on
+  /// (Section 3.3.2).
+  bool staticSchedule = false;
+  /// BB engines: how long a thread may wait at a barrier before the run
+  /// is declared dead (crash-stop deadlock detection).
+  std::chrono::milliseconds barrierTimeout{60'000};
+};
+
+struct PageRankResult {
+  std::vector<double> ranks;
+  /// Iterations executed (LF: the maximum round any thread completed).
+  int iterations = 0;
+  bool converged = false;
+  /// Did-not-finish: a barrier broke (some thread crashed or stalled past
+  /// the timeout). BB engines only; LF engines never DNF.
+  bool dnf = false;
+  /// Solve time measured inside the engine, excluding result-vector
+  /// allocation/deallocation (the paper's measurement protocol, 5.1.5).
+  double timeMs = 0.0;
+  /// Total time threads spent waiting at iteration barriers (BB only).
+  double waitMs = 0.0;
+  /// Vertex-rank computations performed across all threads.
+  std::uint64_t rankUpdates = 0;
+  /// Vertices marked affected (DF/DT engines).
+  std::uint64_t affectedVertices = 0;
+};
+
+enum class Approach : int {
+  StaticBB,
+  StaticLF,
+  NDBB,
+  NDLF,
+  DTBB,
+  DTLF,
+  DFBB,
+  DFLF,
+};
+
+inline const char* approachName(Approach a) noexcept {
+  switch (a) {
+    case Approach::StaticBB: return "StaticBB";
+    case Approach::StaticLF: return "StaticLF";
+    case Approach::NDBB: return "NDBB";
+    case Approach::NDLF: return "NDLF";
+    case Approach::DTBB: return "DTBB";
+    case Approach::DTLF: return "DTLF";
+    case Approach::DFBB: return "DFBB";
+    case Approach::DFLF: return "DFLF";
+  }
+  return "?";
+}
+
+inline bool isLockFree(Approach a) noexcept {
+  return a == Approach::StaticLF || a == Approach::NDLF || a == Approach::DTLF ||
+         a == Approach::DFLF;
+}
+
+inline bool isDynamicApproach(Approach a) noexcept {
+  return a != Approach::StaticBB && a != Approach::StaticLF;
+}
+
+constexpr Approach kAllApproaches[] = {
+    Approach::StaticBB, Approach::StaticLF, Approach::NDBB, Approach::NDLF,
+    Approach::DTBB,     Approach::DTLF,     Approach::DFBB, Approach::DFLF,
+};
+
+}  // namespace lfpr

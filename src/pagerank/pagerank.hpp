@@ -1,0 +1,77 @@
+// Public API: the eight PageRank engines of the paper.
+//
+//   Static*  — full recomputation from uniform ranks        (Algorithms 3, 4)
+//   ND*      — Naive-dynamic: rerun seeded with R^{t-1}     (Algorithms 5, 6)
+//   DT*      — Dynamic Traversal: restrict to vertices      (Algorithms 7, 8)
+//              reachable from the batch
+//   DF*      — Dynamic Frontier: incremental frontier of    (Algorithms 1, 2)
+//              likely-changed vertices — the contribution
+//
+// each in a barrier-based (BB, synchronous Jacobi, two rank vectors) and
+// a lock-free (LF, asynchronous in-place, per-vertex converged flags)
+// variant. The LF engines guarantee progress under random thread delays
+// and crash-stop failures injected through FaultInjector; the BB engines
+// report DNF when a crash breaks their iteration barrier.
+//
+// Graphs are expected to have a self-loop on every vertex (dead-end
+// elimination, Section 5.1.3); DynamicDigraph::ensureSelfLoops() and the
+// generators take care of this.
+#pragma once
+
+#include <span>
+
+#include "graph/csr.hpp"
+#include "graph/types.hpp"
+#include "pagerank/error.hpp"
+#include "pagerank/options.hpp"
+#include "pagerank/reference.hpp"
+#include "sched/fault.hpp"
+
+namespace lfpr {
+
+/// Barrier-based static PageRank from uniform initial ranks (Alg. 3).
+PageRankResult staticBB(const CsrGraph& curr, const PageRankOptions& opt = {},
+                        FaultInjector* fault = nullptr);
+
+/// Lock-free static PageRank with dynamic chunk scheduling (Alg. 4).
+PageRankResult staticLF(const CsrGraph& curr, const PageRankOptions& opt = {},
+                        FaultInjector* fault = nullptr);
+
+/// Barrier-based Naive-dynamic PageRank seeded with prevRanks (Alg. 5).
+PageRankResult ndBB(const CsrGraph& curr, std::span<const double> prevRanks,
+                    const PageRankOptions& opt = {}, FaultInjector* fault = nullptr);
+
+/// Lock-free Naive-dynamic PageRank (Alg. 6).
+PageRankResult ndLF(const CsrGraph& curr, std::span<const double> prevRanks,
+                    const PageRankOptions& opt = {}, FaultInjector* fault = nullptr);
+
+/// Barrier-based Dynamic Traversal PageRank (Alg. 7).
+PageRankResult dtBB(const CsrGraph& prev, const CsrGraph& curr, const BatchUpdate& batch,
+                    std::span<const double> prevRanks, const PageRankOptions& opt = {},
+                    FaultInjector* fault = nullptr);
+
+/// Lock-free Dynamic Traversal PageRank (Alg. 8).
+PageRankResult dtLF(const CsrGraph& prev, const CsrGraph& curr, const BatchUpdate& batch,
+                    std::span<const double> prevRanks, const PageRankOptions& opt = {},
+                    FaultInjector* fault = nullptr);
+
+/// Barrier-based Dynamic Frontier PageRank (Alg. 1).
+PageRankResult dfBB(const CsrGraph& prev, const CsrGraph& curr, const BatchUpdate& batch,
+                    std::span<const double> prevRanks, const PageRankOptions& opt = {},
+                    FaultInjector* fault = nullptr);
+
+/// Lock-free, fault-tolerant Dynamic Frontier PageRank (Alg. 2) — the
+/// paper's primary contribution.
+PageRankResult dfLF(const CsrGraph& prev, const CsrGraph& curr, const BatchUpdate& batch,
+                    std::span<const double> prevRanks, const PageRankOptions& opt = {},
+                    FaultInjector* fault = nullptr);
+
+/// Uniform dispatch over all eight engines (harness convenience). Static
+/// engines ignore prev/batch/prevRanks; ND engines ignore prev/batch.
+PageRankResult runApproach(Approach approach, const CsrGraph& prev,
+                           const CsrGraph& curr, const BatchUpdate& batch,
+                           std::span<const double> prevRanks,
+                           const PageRankOptions& opt = {},
+                           FaultInjector* fault = nullptr);
+
+}  // namespace lfpr

@@ -1,0 +1,35 @@
+#include "pagerank/reference.hpp"
+
+#include <cmath>
+
+namespace lfpr {
+
+std::vector<double> referenceRanks(const CsrGraph& g, double alpha, int maxIterations,
+                                   long double exitTolerance) {
+  const std::size_t n = g.numVertices();
+  if (n == 0) return {};
+  std::vector<long double> r(n, 1.0L / static_cast<long double>(n));
+  std::vector<long double> rnew(n, 0.0L);
+  const long double base = (1.0L - static_cast<long double>(alpha)) /
+                           static_cast<long double>(n);
+
+  for (int it = 0; it < maxIterations; ++it) {
+    long double delta = 0.0L;
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+      long double acc = base;
+      for (VertexId u : g.in(v))
+        acc += static_cast<long double>(alpha) * r[u] /
+               static_cast<long double>(g.outDegree(u));
+      delta = std::max(delta, std::fabs(acc - r[v]));
+      rnew[v] = acc;
+    }
+    r.swap(rnew);
+    if (delta <= exitTolerance) break;
+  }
+
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = static_cast<double>(r[i]);
+  return out;
+}
+
+}  // namespace lfpr

@@ -1,0 +1,20 @@
+// Reference PageRank (Section 5.1.5): the paper compares every approach
+// against a barrier-based static PageRank run on the updated graph with a
+// tolerance of 1e-100 capped at 500 iterations — i.e. effectively a fixed
+// 500-iteration power iteration at machine precision. We run the same
+// sequentially with long-double accumulation, with an early exit once the
+// iterate is stationary to double precision (change < exitTolerance),
+// which is bitwise equivalent in the returned doubles.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace lfpr {
+
+std::vector<double> referenceRanks(const CsrGraph& g, double alpha = 0.85,
+                                   int maxIterations = 500,
+                                   long double exitTolerance = 1e-16L);
+
+}  // namespace lfpr

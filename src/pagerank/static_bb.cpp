@@ -1,0 +1,14 @@
+// Barrier-based static PageRank (Algorithm 3).
+#include "pagerank/detail/power_bb.hpp"
+#include "pagerank/pagerank.hpp"
+
+namespace lfpr {
+
+PageRankResult staticBB(const CsrGraph& curr, const PageRankOptions& opt,
+                        FaultInjector* fault) {
+  const std::size_t n = curr.numVertices();
+  std::vector<double> init(n, n > 0 ? 1.0 / static_cast<double>(n) : 0.0);
+  return detail::powerIterateBB(curr, std::move(init), opt, fault);
+}
+
+}  // namespace lfpr

@@ -1,0 +1,14 @@
+// Lock-free static PageRank with dynamic chunk scheduling (Algorithm 4).
+#include "pagerank/detail/power_lf.hpp"
+#include "pagerank/pagerank.hpp"
+
+namespace lfpr {
+
+PageRankResult staticLF(const CsrGraph& curr, const PageRankOptions& opt,
+                        FaultInjector* fault) {
+  const std::size_t n = curr.numVertices();
+  std::vector<double> init(n, n > 0 ? 1.0 / static_cast<double>(n) : 0.0);
+  return detail::powerIterateLF(curr, std::move(init), opt, fault);
+}
+
+}  // namespace lfpr

@@ -1,0 +1,64 @@
+#include "pagerank/vertex_dynamic.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace lfpr {
+
+std::vector<double> expandRanksForNewVertices(std::span<const double> ranks,
+                                              VertexId newNumVertices) {
+  const std::size_t oldN = ranks.size();
+  if (newNumVertices < oldN)
+    throw std::invalid_argument(
+        "expandRanksForNewVertices: use removeVertexRanks to shrink");
+  const std::size_t newN = newNumVertices;
+  if (newN == oldN) return {ranks.begin(), ranks.end()};
+  if (oldN == 0) return std::vector<double>(newN, newN > 0 ? 1.0 / newN : 0.0);
+
+  // New vertices start uniform; the mass they need is taken from existing
+  // vertices proportionally, preserving both the total and the relative
+  // ordering of existing ranks.
+  const double newcomerMass = static_cast<double>(newN - oldN) / static_cast<double>(newN);
+  const double scale = 1.0 - newcomerMass;
+  std::vector<double> out(newN, 1.0 / static_cast<double>(newN));
+  for (std::size_t v = 0; v < oldN; ++v) out[v] = ranks[v] * scale;
+  return out;
+}
+
+std::vector<double> removeVertexRanks(std::span<const double> ranks,
+                                      std::span<const VertexId> removedIds,
+                                      std::vector<VertexId>* oldToNew) {
+  const std::size_t oldN = ranks.size();
+  std::unordered_set<VertexId> removed(removedIds.begin(), removedIds.end());
+  for (VertexId id : removed)
+    if (id >= oldN)
+      throw std::out_of_range("removeVertexRanks: removed id out of range");
+
+  std::vector<double> kept;
+  kept.reserve(oldN - removed.size());
+  if (oldToNew != nullptr) oldToNew->assign(oldN, kNoVertex);
+
+  double keptMass = 0.0;
+  for (std::size_t v = 0; v < oldN; ++v) {
+    if (removed.contains(static_cast<VertexId>(v))) continue;
+    if (oldToNew != nullptr)
+      (*oldToNew)[v] = static_cast<VertexId>(kept.size());
+    kept.push_back(ranks[v]);
+    keptMass += ranks[v];
+  }
+  // Redistribute the removed vertices' mass proportionally.
+  if (keptMass > 0.0) {
+    const double scale = 1.0 / keptMass;
+    double total = 0.0;
+    for (double r : kept) total += r;
+    (void)total;
+    for (double& r : kept) r *= scale;
+  } else if (!kept.empty()) {
+    const double uniform = 1.0 / static_cast<double>(kept.size());
+    for (double& r : kept) r = uniform;
+  }
+  return kept;
+}
+
+}  // namespace lfpr

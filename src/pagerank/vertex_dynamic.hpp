@@ -1,0 +1,37 @@
+// Vertex-dynamic support — the paper's stated future-work direction
+// (Section 6): "extend the algorithm to handle vertex additions and
+// deletions by scaling existing vertex ranks before computation."
+//
+// The edge-dynamic engines assume |V^{t-1}| == |V^t|. These helpers
+// produce a warm-start rank vector for a changed vertex set, after which
+// the vertex change reduces to an edge batch: a vertex addition is its
+// incident-edge insertions, a removal is its incident-edge deletions.
+// Total rank mass is preserved (sums to ~1 given normalized input), so
+// the dynamic engines converge from the adjusted vector exactly as they
+// do from a previous snapshot's ranks.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace lfpr {
+
+/// Grow a rank vector from |V| to newNumVertices: existing ranks are
+/// scaled by |V|/|V_new| ... more precisely, every vertex (old and new)
+/// gives up a proportional share so that new vertices start at the
+/// uniform 1/|V_new| and total mass stays 1. Throws if shrinking.
+std::vector<double> expandRanksForNewVertices(std::span<const double> ranks,
+                                              VertexId newNumVertices);
+
+/// Remove the given vertices (ids in the *old* numbering) and compact the
+/// vector; the removed mass is redistributed proportionally so the result
+/// sums to ~1. Returns the compacted ranks; `oldToNew` (optional out)
+/// receives the id remapping (removed vertices map to kNoVertex).
+inline constexpr VertexId kNoVertex = static_cast<VertexId>(-1);
+std::vector<double> removeVertexRanks(std::span<const double> ranks,
+                                      std::span<const VertexId> removedIds,
+                                      std::vector<VertexId>* oldToNew = nullptr);
+
+}  // namespace lfpr

@@ -1,0 +1,48 @@
+#include "sched/barrier.hpp"
+
+#include <thread>
+
+#include "util/timer.hpp"
+
+namespace lfpr {
+
+InstrumentedBarrier::InstrumentedBarrier(int numThreads,
+                                         std::chrono::nanoseconds timeout)
+    : per_(static_cast<std::size_t>(numThreads)), n_(numThreads), timeout_(timeout) {}
+
+InstrumentedBarrier::Status InstrumentedBarrier::arriveAndWait(int tid) {
+  if (broken_.load(std::memory_order_acquire)) return Status::Broken;
+
+  PerThread& self = per_[static_cast<std::size_t>(tid)];
+  const bool mySense = !self.sense;
+  self.sense = mySense;
+
+  const Stopwatch wait;
+  if (count_.fetch_add(1) + 1 == n_) {
+    // Last arriver releases the phase.
+    count_.store(0);
+    sense_.store(mySense);
+    return broken_.load(std::memory_order_acquire) ? Status::Broken : Status::Ok;
+  }
+
+  const auto deadline = Stopwatch::clock::now() + timeout_;
+  std::uint32_t spins = 0;
+  while (sense_.load() != mySense) {
+    if (broken_.load(std::memory_order_acquire)) return Status::Broken;
+    if ((++spins & 0x3ff) == 0 && Stopwatch::clock::now() > deadline) {
+      broken_.store(true, std::memory_order_release);
+      return Status::Broken;
+    }
+    std::this_thread::yield();
+  }
+  self.waitNs.fetch_add(wait.elapsed().count(), std::memory_order_relaxed);
+  return broken_.load(std::memory_order_acquire) ? Status::Broken : Status::Ok;
+}
+
+std::chrono::nanoseconds InstrumentedBarrier::totalWaitTime() const noexcept {
+  std::int64_t total = 0;
+  for (const PerThread& p : per_) total += p.waitNs.load(std::memory_order_relaxed);
+  return std::chrono::nanoseconds(total);
+}
+
+}  // namespace lfpr

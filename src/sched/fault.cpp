@@ -1,0 +1,73 @@
+#include "sched/fault.hpp"
+
+#include <thread>
+
+namespace lfpr {
+
+FaultConfig makeCrashConfig(int numThreads, int numCrashing, std::uint64_t minUpdates,
+                            std::uint64_t maxUpdates, std::uint64_t seed) {
+  FaultConfig cfg;
+  cfg.seed = seed;
+  cfg.crashAfterUpdates.assign(static_cast<std::size_t>(numThreads),
+                               FaultConfig::noCrash);
+  if (numCrashing <= 0) return cfg;
+  Rng rng(seed);
+  // Pick the crashing threads without replacement (partial Fisher-Yates).
+  std::vector<int> ids(static_cast<std::size_t>(numThreads));
+  for (int i = 0; i < numThreads; ++i) ids[static_cast<std::size_t>(i)] = i;
+  const int k = numCrashing < numThreads ? numCrashing : numThreads;
+  for (int i = 0; i < k; ++i) {
+    const auto j = i + static_cast<int>(rng.below(
+                           static_cast<std::uint64_t>(numThreads - i)));
+    std::swap(ids[static_cast<std::size_t>(i)], ids[static_cast<std::size_t>(j)]);
+    const std::uint64_t span = maxUpdates > minUpdates ? maxUpdates - minUpdates : 1;
+    cfg.crashAfterUpdates[static_cast<std::size_t>(ids[static_cast<std::size_t>(i)])] =
+        minUpdates + rng.below(span);
+  }
+  return cfg;
+}
+
+FaultInjector::FaultInjector(int numThreads, FaultConfig config)
+    : cfg_(std::move(config)), per_(static_cast<std::size_t>(numThreads)) {
+  Rng seeder(cfg_.seed);
+  for (std::size_t t = 0; t < per_.size(); ++t) {
+    per_[t].rng = seeder.split();
+    if (t < cfg_.crashAfterUpdates.size()) per_[t].crashAt = cfg_.crashAfterUpdates[t];
+  }
+}
+
+bool FaultInjector::onVertexProcessed(int tid) noexcept {
+  PerThread& self = per_[static_cast<std::size_t>(tid)];
+  if (self.crashed.load(std::memory_order_relaxed)) return false;
+  ++self.updates;
+  if (self.updates >= self.crashAt) {
+    self.crashed.store(true, std::memory_order_relaxed);
+    return false;
+  }
+  if (cfg_.delayProbability > 0.0 && self.rng.chance(cfg_.delayProbability)) {
+    self.delays.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(cfg_.delayDuration);
+  }
+  return true;
+}
+
+int FaultInjector::numCrashed() const noexcept {
+  int n = 0;
+  for (const PerThread& p : per_)
+    if (p.crashed.load(std::memory_order_relaxed)) ++n;
+  return n;
+}
+
+std::uint64_t FaultInjector::delaysInjected() const noexcept {
+  std::uint64_t n = 0;
+  for (const PerThread& p : per_) n += p.delays.load(std::memory_order_relaxed);
+  return n;
+}
+
+std::uint64_t FaultInjector::updatesObserved() const noexcept {
+  std::uint64_t n = 0;
+  for (const PerThread& p : per_) n += p.updates;
+  return n;
+}
+
+}  // namespace lfpr

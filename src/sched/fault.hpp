@@ -1,0 +1,81 @@
+// Fault injection per Section 5.1.6 of the paper.
+//
+// Two fault models:
+//   * Random thread delays — after computing the rank of any vertex, a
+//     thread sleeps for a fixed duration with some probability; the delay
+//     is equally likely for every thread (Figure 8's stressor).
+//   * Crash-stop — a thread deterministically stops executing at a
+//     scheduled point (after a given number of vertex updates), without
+//     corrupting shared memory. Equivalent to an infinite delay
+//     (Figure 9's stressor).
+//
+// Engines call onVertexProcessed(tid) after every vertex-rank update; a
+// false return means "this thread has crashed" and the engine's worker
+// must return immediately (it never reaches another barrier or chunk).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace lfpr {
+
+struct FaultConfig {
+  /// Probability of injecting a delay after each vertex update.
+  double delayProbability = 0.0;
+  /// Duration of each injected delay.
+  std::chrono::microseconds delayDuration{0};
+  /// Per-thread crash points: thread t crashes after crashAfterUpdates[t]
+  /// vertex updates. Missing entries / noCrash mean the thread never
+  /// crashes.
+  std::vector<std::uint64_t> crashAfterUpdates;
+  /// Seed for the per-thread delay RNG streams.
+  std::uint64_t seed = 0x5eedf00dULL;
+
+  static constexpr std::uint64_t noCrash = std::numeric_limits<std::uint64_t>::max();
+
+  [[nodiscard]] bool hasFaults() const noexcept {
+    return delayProbability > 0.0 || !crashAfterUpdates.empty();
+  }
+};
+
+/// Builds a crash schedule where `numCrashing` of `numThreads` threads
+/// crash at pseudo-random points in [minUpdates, maxUpdates) vertex
+/// updates — crashes "spread out during execution" (Section 5.4).
+FaultConfig makeCrashConfig(int numThreads, int numCrashing, std::uint64_t minUpdates,
+                            std::uint64_t maxUpdates, std::uint64_t seed);
+
+class FaultInjector {
+ public:
+  FaultInjector(int numThreads, FaultConfig config);
+
+  /// Engine hook; see file comment. Returns false once the calling thread
+  /// has crashed.
+  bool onVertexProcessed(int tid) noexcept;
+
+  [[nodiscard]] bool crashed(int tid) const noexcept {
+    return per_[static_cast<std::size_t>(tid)].crashed.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] int numCrashed() const noexcept;
+  [[nodiscard]] std::uint64_t delaysInjected() const noexcept;
+  [[nodiscard]] std::uint64_t updatesObserved() const noexcept;
+  [[nodiscard]] const FaultConfig& config() const noexcept { return cfg_; }
+
+ private:
+  struct alignas(64) PerThread {
+    Rng rng;
+    std::uint64_t updates = 0;
+    std::uint64_t crashAt = FaultConfig::noCrash;
+    std::atomic<bool> crashed{false};
+    std::atomic<std::uint64_t> delays{0};
+  };
+
+  FaultConfig cfg_;
+  std::vector<PerThread> per_;
+};
+
+}  // namespace lfpr

@@ -1,0 +1,41 @@
+#include "sched/thread_team.hpp"
+
+#include <exception>
+#include <mutex>
+#include <vector>
+
+namespace lfpr {
+
+int ThreadTeam::resolveThreads(int requested) noexcept {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 2;
+}
+
+ThreadTeam::ThreadTeam(int numThreads) : numThreads_(resolveThreads(numThreads)) {}
+
+void ThreadTeam::run(const std::function<void(int)>& body) {
+  if (numThreads_ == 1) {
+    body(0);
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(numThreads_));
+  std::exception_ptr firstError;
+  std::mutex errorMutex;
+
+  for (int tid = 0; tid < numThreads_; ++tid) {
+    threads.emplace_back([&, tid] {
+      try {
+        body(tid);
+      } catch (...) {
+        const std::scoped_lock lock(errorMutex);
+        if (!firstError) firstError = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (firstError) std::rethrow_exception(firstError);
+}
+
+}  // namespace lfpr

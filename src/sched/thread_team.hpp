@@ -1,0 +1,35 @@
+// A minimal fork-join thread team: the library's replacement for an
+// OpenMP `parallel` region. Each engine makes exactly one run() call (the
+// paper's "top-level parallel block") and synchronizes internally with
+// ChunkCursor / InstrumentedBarrier / flag vectors.
+//
+// We spawn std::threads per run() rather than keeping a persistent pool:
+// engine runs last milliseconds to seconds, so spawn cost is noise, and a
+// fresh team per run means a thread "crashed" by the fault injector in one
+// run can never leak state into the next.
+#pragma once
+
+#include <functional>
+#include <thread>
+
+namespace lfpr {
+
+class ThreadTeam {
+ public:
+  /// numThreads <= 0 selects hardware concurrency.
+  explicit ThreadTeam(int numThreads);
+
+  /// Run body(tid) on every thread of the team and join. The first
+  /// exception thrown by any thread is rethrown on the caller after all
+  /// threads have joined.
+  void run(const std::function<void(int)>& body);
+
+  [[nodiscard]] int size() const noexcept { return numThreads_; }
+
+  static int resolveThreads(int requested) noexcept;
+
+ private:
+  int numThreads_;
+};
+
+}  // namespace lfpr

@@ -1,0 +1,39 @@
+// Environment-variable knobs shared by the bench binaries.
+//
+//   LFPR_BENCH_SCALE   0 = smoke (seconds), 1 = default, 2 = big
+//   LFPR_BENCH_THREADS logical worker threads (default: 4x hardware)
+//   LFPR_BENCH_REPEATS measurement repeats per configuration
+#pragma once
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+namespace lfpr {
+
+inline int envInt(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::atoi(v);
+}
+
+inline double envDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::atof(v);
+}
+
+/// Bench size scale: 0 smoke, 1 default, 2 big.
+inline int benchScale() { return envInt("LFPR_BENCH_SCALE", 1); }
+
+/// Logical worker-thread count for bench runs. The paper uses 64 threads on
+/// a 64-core machine; we default to a modest oversubscription of the host
+/// so barrier/fault phenomena remain visible on small machines.
+inline int benchThreads() {
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  return envInt("LFPR_BENCH_THREADS", hw > 0 ? 4 * hw : 8);
+}
+
+inline int benchRepeats(int fallback = 1) { return envInt("LFPR_BENCH_REPEATS", fallback); }
+
+}  // namespace lfpr

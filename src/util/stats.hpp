@@ -1,0 +1,89 @@
+// Summary statistics for experiment reporting. The paper reports
+// *geometric means* of runtimes across input graphs (Section 5.1.5); the
+// helpers here implement that protocol plus the usual descriptive stats.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace lfpr {
+
+/// Arithmetic mean; 0 for an empty range.
+inline double mean(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+/// Geometric mean; 0 for an empty range. Non-positive entries are clamped
+/// to a tiny epsilon so a single zero timing cannot collapse the mean.
+inline double geomean(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double logSum = 0.0;
+  for (double x : xs) logSum += std::log(std::max(x, 1e-300));
+  return std::exp(logSum / static_cast<double>(xs.size()));
+}
+
+/// Population standard deviation.
+inline double stddev(std::span<const double> xs) noexcept {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+inline double minOf(std::span<const double> xs) noexcept {
+  return xs.empty() ? 0.0 : *std::min_element(xs.begin(), xs.end());
+}
+
+inline double maxOf(std::span<const double> xs) noexcept {
+  return xs.empty() ? 0.0 : *std::max_element(xs.begin(), xs.end());
+}
+
+/// Median (by copy; inputs stay untouched).
+inline double median(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> v(xs.begin(), xs.end());
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid), v.end());
+  if (v.size() % 2 == 1) return v[mid];
+  const double hi = v[mid];
+  const double lo = *std::max_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lo + hi);
+}
+
+/// Streaming mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    min_ = n_ == 1 ? x : std::min(min_, x);
+    max_ = n_ == 1 ? x : std::max(max_, x);
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_);
+  }
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace lfpr

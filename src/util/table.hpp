@@ -1,0 +1,79 @@
+// Plain-text table rendering for the bench harnesses. Every figure/table
+// reproduction prints an aligned ASCII table (and optionally CSV) with the
+// same rows/series the paper reports.
+#pragma once
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace lfpr {
+
+/// Column-aligned ASCII table. Collect rows of strings, then stream it.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void addRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Format a double with fixed precision, trimming to a compact width.
+  static std::string num(double v, int precision = 3) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+  }
+
+  /// Format in scientific notation (for tolerances / errors).
+  static std::string sci(double v, int precision = 2) {
+    std::ostringstream os;
+    os << std::scientific << std::setprecision(precision) << v;
+    return os.str();
+  }
+
+  static std::string count(std::uint64_t v) { return std::to_string(v); }
+
+  void print(std::ostream& os) const {
+    std::vector<std::size_t> widths(header_.size(), 0);
+    for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+    for (const auto& row : rows_)
+      for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+        widths[c] = std::max(widths[c], row[c].size());
+
+    auto printRow = [&](const std::vector<std::string>& row) {
+      for (std::size_t c = 0; c < widths.size(); ++c) {
+        const std::string& cell = c < row.size() ? row[c] : std::string{};
+        os << "  " << std::setw(static_cast<int>(widths[c])) << cell;
+      }
+      os << '\n';
+    };
+
+    printRow(header_);
+    std::size_t total = 0;
+    for (std::size_t w : widths) total += w + 2;
+    os << std::string(total, '-') << '\n';
+    for (const auto& row : rows_) printRow(row);
+  }
+
+  void printCsv(std::ostream& os) const {
+    auto printRow = [&](const std::vector<std::string>& row) {
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        if (c) os << ',';
+        os << row[c];
+      }
+      os << '\n';
+    };
+    printRow(header_);
+    for (const auto& row : rows_) printRow(row);
+  }
+
+  [[nodiscard]] std::size_t rowCount() const noexcept { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& header() const noexcept { return header_; }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lfpr

@@ -1,0 +1,40 @@
+// Wall-clock measurement helpers used by every bench harness and by the
+// barrier wait-time instrumentation.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace lfpr {
+
+/// Monotonic stopwatch. `elapsed*()` may be called while running.
+class Stopwatch {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  [[nodiscard]] std::chrono::nanoseconds elapsed() const noexcept {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - start_);
+  }
+
+  [[nodiscard]] double elapsedMs() const noexcept {
+    return std::chrono::duration<double, std::milli>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double elapsedSec() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  clock::time_point start_;
+};
+
+/// Convert a nanosecond duration to fractional milliseconds.
+inline double toMs(std::chrono::nanoseconds ns) noexcept {
+  return std::chrono::duration<double, std::milli>(ns).count();
+}
+
+}  // namespace lfpr

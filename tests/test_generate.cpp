@@ -1,0 +1,306 @@
+// Unit tests for src/generate: graph generators, batch-update generation,
+// temporal streams and the paper's replay protocol.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "generate/batch_gen.hpp"
+#include "generate/generators.hpp"
+#include "generate/temporal_replay.hpp"
+#include "graph/stats.hpp"
+
+namespace lfpr {
+namespace {
+
+TEST(Rmat, ProducesRequestedEdges) {
+  Rng rng(1);
+  const auto es = generateRmat(8, 1000, rng);
+  EXPECT_EQ(es.size(), 1000u);
+  for (const Edge& e : es) {
+    EXPECT_LT(e.src, 256u);
+    EXPECT_LT(e.dst, 256u);
+    EXPECT_NE(e.src, e.dst);  // generator skips loops
+  }
+}
+
+TEST(Rmat, EdgesAreDistinct) {
+  Rng rng(2);
+  const auto es = generateRmat(8, 800, rng);
+  std::set<Edge> s(es.begin(), es.end());
+  EXPECT_EQ(s.size(), es.size());
+}
+
+TEST(Rmat, IsDeterministic) {
+  Rng a(3), b(3);
+  EXPECT_EQ(generateRmat(7, 300, a), generateRmat(7, 300, b));
+}
+
+TEST(Rmat, SkewedDegreeDistribution) {
+  Rng rng(4);
+  const auto es = generateRmat(10, 8000, rng);
+  const auto g = CsrGraph::fromEdges(1024, es);
+  const auto s = computeStats(g);
+  // RMAT with web parameters concentrates edges: the max degree should be
+  // far above the average.
+  EXPECT_GT(s.maxOutDegree, 5 * s.avgOutDegree);
+}
+
+TEST(Rmat, RejectsBadArguments) {
+  Rng rng(1);
+  EXPECT_THROW(generateRmat(0, 10, rng), std::invalid_argument);
+  EXPECT_THROW(generateRmat(8, 10, rng, 0.5, 0.5, 0.5, 0.5), std::invalid_argument);
+}
+
+TEST(WebGraph, DegreeRegimeAndLocality) {
+  Rng rng(30);
+  const auto es = generateWebGraph(8000, 200, 20.0, rng);
+  const auto g = CsrGraph::fromEdges(8000, es);
+  const auto s = computeStats(g);
+  // Mean out-degree lands near the requested value.
+  EXPECT_GT(s.avgOutDegree, 12.0);
+  EXPECT_LT(s.avgOutDegree, 30.0);
+  // Heavy-tailed in-degree (hub pages attract the global 5% of links).
+  EXPECT_GT(static_cast<double>(s.maxInDegree), 3.0 * s.avgOutDegree);
+  // Locality: most links stay within the source's host block.
+  EdgeId local = 0;
+  for (const Edge& e : es)
+    if (e.src / 200 == e.dst / 200) ++local;
+  EXPECT_GT(static_cast<double>(local) / static_cast<double>(es.size()), 0.6);
+}
+
+TEST(WebGraph, NoSelfLoopsNoDuplicates) {
+  Rng rng(31);
+  const auto es = generateWebGraph(2000, 100, 10.0, rng);
+  std::set<Edge> distinct(es.begin(), es.end());
+  EXPECT_EQ(distinct.size(), es.size());
+  for (const Edge& e : es) EXPECT_NE(e.src, e.dst);
+}
+
+TEST(WebGraph, IsDeterministic) {
+  Rng a(32), b(32);
+  EXPECT_EQ(generateWebGraph(1000, 50, 8.0, a), generateWebGraph(1000, 50, 8.0, b));
+}
+
+TEST(WebGraph, RejectsBadArguments) {
+  Rng rng(33);
+  EXPECT_THROW(generateWebGraph(1, 10, 5.0, rng), std::invalid_argument);
+  EXPECT_THROW(generateWebGraph(100, 0, 5.0, rng), std::invalid_argument);
+  EXPECT_THROW(generateWebGraph(100, 10, 0.5, rng), std::invalid_argument);
+}
+
+TEST(ErdosRenyi, ExactEdgeCountNoLoopsNoDups) {
+  Rng rng(5);
+  const auto es = generateErdosRenyi(100, 500, rng);
+  EXPECT_EQ(es.size(), 500u);
+  std::set<Edge> s(es.begin(), es.end());
+  EXPECT_EQ(s.size(), 500u);
+  for (const Edge& e : es) EXPECT_NE(e.src, e.dst);
+}
+
+TEST(ErdosRenyi, RejectsImpossibleRequest) {
+  Rng rng(1);
+  EXPECT_THROW(generateErdosRenyi(3, 7, rng), std::invalid_argument);  // max 6
+  EXPECT_THROW(generateErdosRenyi(1, 1, rng), std::invalid_argument);
+}
+
+TEST(BarabasiAlbert, DegreesAndSize) {
+  Rng rng(6);
+  const auto es = generateBarabasiAlbert(200, 3, rng);
+  const auto g = CsrGraph::fromEdges(200, es);
+  // Every non-seed vertex contributes exactly 3 out-edges.
+  for (VertexId v = 4; v < 200; ++v) EXPECT_EQ(g.outDegree(v), 3u);
+  // Preferential attachment: someone in the seed set gets rich.
+  const auto s = computeStats(g);
+  EXPECT_GT(s.maxInDegree, 10u);
+}
+
+TEST(BarabasiAlbert, RejectsBadArguments) {
+  Rng rng(1);
+  EXPECT_THROW(generateBarabasiAlbert(3, 3, rng), std::invalid_argument);
+  EXPECT_THROW(generateBarabasiAlbert(10, 0, rng), std::invalid_argument);
+}
+
+TEST(Grid, StructureAndShortcuts) {
+  Rng rng(7);
+  const auto es = generateGrid(10, 10, 0.0, rng);
+  // 10x10 grid: 9*10 horizontal + 10*9 vertical = 180 directed edges.
+  EXPECT_EQ(es.size(), 180u);
+  const auto withShortcuts = generateGrid(10, 10, 0.5, rng);
+  EXPECT_GT(withShortcuts.size(), 180u);
+}
+
+TEST(Grid, RejectsEmpty) {
+  Rng rng(1);
+  EXPECT_THROW(generateGrid(0, 5, 0.0, rng), std::invalid_argument);
+}
+
+TEST(KmerChains, LowDegreeConnectedChains) {
+  Rng rng(8);
+  const auto es = generateKmerChains(1000, 0.5, rng);
+  EXPECT_GE(es.size(), 999u);   // at least the backbone chain
+  EXPECT_LE(es.size(), 1600u);  // plus at most ~50% branches
+  const auto g = CsrGraph::fromEdges(1000, symmetrize(es));
+  const auto s = computeStats(g);
+  EXPECT_GT(s.avgOutDegree, 1.5);
+  EXPECT_LT(s.avgOutDegree, 4.0);
+}
+
+TEST(Symmetrize, AddsReverseEdges) {
+  const std::vector<Edge> es = {{0, 1}, {1, 2}};
+  const auto sym = symmetrize(es);
+  const std::vector<Edge> expect = {{0, 1}, {1, 0}, {1, 2}, {2, 1}};
+  EXPECT_EQ(sym, expect);
+}
+
+TEST(Symmetrize, SelfLoopNotDoubled) {
+  const std::vector<Edge> es = {{1, 1}};
+  EXPECT_EQ(symmetrize(es).size(), 1u);
+}
+
+TEST(Symmetrize, IdempotentOnSymmetricInput) {
+  const std::vector<Edge> es = {{0, 1}, {1, 0}};
+  EXPECT_EQ(symmetrize(es), es);
+}
+
+TEST(AppendSelfLoops, AddsOnePerVertex) {
+  std::vector<Edge> es = {{0, 1}};
+  appendSelfLoops(es, 3);
+  EXPECT_EQ(es.size(), 4u);
+  const auto g = CsrGraph::fromEdges(3, es);
+  EXPECT_EQ(computeStats(g).numSelfLoops, 3u);
+  EXPECT_EQ(computeStats(g).numDeadEnds, 0u);
+}
+
+TEST(TemporalStream, SizeOrderAndDuplicates) {
+  Rng rng(9);
+  const auto stream = generateTemporalStream(500, 5000, 0.4, rng);
+  EXPECT_EQ(stream.size(), 5000u);
+  for (std::size_t i = 1; i < stream.size(); ++i)
+    EXPECT_LE(stream[i - 1].time, stream[i].time);
+  // Duplicates must exist (|E_T| > |E| in Table 1).
+  std::unordered_set<Edge, EdgeHash> distinct;
+  for (const auto& e : stream) distinct.insert({e.src, e.dst});
+  EXPECT_LT(distinct.size(), stream.size());
+  EXPECT_GT(distinct.size(), stream.size() / 4);
+}
+
+TEST(TemporalStream, NoSelfLoops) {
+  Rng rng(10);
+  for (const auto& e : generateTemporalStream(100, 2000, 0.3, rng))
+    EXPECT_NE(e.src, e.dst);
+}
+
+class BatchGenTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(11);
+    auto edges = generateErdosRenyi(200, 2000, rng);
+    appendSelfLoops(edges, 200);
+    graph_ = DynamicDigraph::fromEdges(200, edges);
+  }
+  DynamicDigraph graph_{0};
+};
+
+TEST_F(BatchGenTest, EqualMixOfDeletionsAndInsertions) {
+  Rng rng(12);
+  const auto batch = generateBatch(graph_, 100, rng);
+  EXPECT_EQ(batch.deletions.size(), 50u);
+  EXPECT_EQ(batch.insertions.size(), 50u);
+}
+
+TEST_F(BatchGenTest, DeletionsExistInsertionsAbsent) {
+  Rng rng(13);
+  const auto batch = generateBatch(graph_, 200, rng);
+  for (const Edge& e : batch.deletions) EXPECT_TRUE(graph_.hasEdge(e.src, e.dst));
+  for (const Edge& e : batch.insertions) {
+    EXPECT_FALSE(graph_.hasEdge(e.src, e.dst));
+    EXPECT_NE(e.src, e.dst);
+  }
+}
+
+TEST_F(BatchGenTest, NoDuplicatesWithinBatch) {
+  Rng rng(14);
+  const auto batch = generateBatch(graph_, 300, rng);
+  std::set<Edge> dels(batch.deletions.begin(), batch.deletions.end());
+  std::set<Edge> inss(batch.insertions.begin(), batch.insertions.end());
+  EXPECT_EQ(dels.size(), batch.deletions.size());
+  EXPECT_EQ(inss.size(), batch.insertions.size());
+}
+
+TEST_F(BatchGenTest, SelfLoopsProtectedFromDeletion) {
+  Rng rng(15);
+  const auto batch = generateBatch(graph_, 500, rng);
+  for (const Edge& e : batch.deletions) EXPECT_NE(e.src, e.dst);
+}
+
+TEST_F(BatchGenTest, FractionClampsToAtLeastOne) {
+  Rng rng(16);
+  const auto batch = generateBatchFraction(graph_, 1e-12, rng);
+  EXPECT_GE(batch.size(), 1u);
+}
+
+TEST_F(BatchGenTest, ApplyThenInvertRestores) {
+  Rng rng(17);
+  const auto before = graph_.edges();
+  const auto batch = generateBatch(graph_, 100, rng);
+  graph_.applyBatch(batch);
+  graph_.applyBatch(batch.inverted());
+  EXPECT_EQ(graph_.edges(), before);
+}
+
+TEST_F(BatchGenTest, DeterministicGivenSeed) {
+  Rng a(18), b(18);
+  const auto ba = generateBatch(graph_, 60, a);
+  const auto bb = generateBatch(graph_, 60, b);
+  EXPECT_EQ(ba.deletions, bb.deletions);
+  EXPECT_EQ(ba.insertions, bb.insertions);
+}
+
+TEST(BatchGen, EmptyAndTinyGraphs) {
+  DynamicDigraph g(1);
+  Rng rng(19);
+  EXPECT_TRUE(generateBatch(g, 10, rng).empty());
+  DynamicDigraph g2(0);
+  EXPECT_TRUE(generateBatch(g2, 10, rng).empty());
+}
+
+TEST(TemporalReplay, ProtocolShapes) {
+  Rng rng(20);
+  TemporalEdgeListData data;
+  data.numVertices = 300;
+  data.edges = generateTemporalStream(300, 10000, 0.4, rng);
+  const auto replay = makeTemporalReplay(data, 0.9, 1e-3);  // batch = 10 edges
+  EXPECT_EQ(replay.numTemporalEdges, 10000u);
+  EXPECT_GT(replay.numStaticEdges, 0u);
+  EXPECT_LE(replay.numStaticEdges, replay.numTemporalEdges);
+  // ~1000 trailing edges in batches of 10.
+  EXPECT_EQ(replay.batches.size(), 100u);
+  for (const auto& b : replay.batches) {
+    EXPECT_TRUE(b.deletions.empty());  // insert-only protocol
+    EXPECT_LE(b.insertions.size(), 10u);
+  }
+  // Initial graph has self-loops everywhere (no dead ends).
+  const auto s = computeStats(replay.initial.toCsr());
+  EXPECT_EQ(s.numDeadEnds, 0u);
+  EXPECT_EQ(s.numSelfLoops, replay.initial.numVertices());
+}
+
+TEST(TemporalReplay, MaxBatchesLimits) {
+  Rng rng(21);
+  TemporalEdgeListData data;
+  data.numVertices = 100;
+  data.edges = generateTemporalStream(100, 2000, 0.3, rng);
+  const auto replay = makeTemporalReplay(data, 0.5, 1e-2, 5);
+  EXPECT_EQ(replay.batches.size(), 5u);
+}
+
+TEST(TemporalReplay, RejectsBadFractions) {
+  TemporalEdgeListData data;
+  EXPECT_THROW(makeTemporalReplay(data, -0.1, 0.1), std::invalid_argument);
+  EXPECT_THROW(makeTemporalReplay(data, 0.5, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lfpr

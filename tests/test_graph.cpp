@@ -1,0 +1,271 @@
+// Unit tests for src/graph: CSR construction and invariants, dynamic
+// digraph mutation and batch application, I/O round trips, statistics.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/csr.hpp"
+#include "graph/dynamic_digraph.hpp"
+#include "graph/io.hpp"
+#include "graph/stats.hpp"
+
+namespace lfpr {
+namespace {
+
+std::vector<Edge> triangle() { return {{0, 1}, {1, 2}, {2, 0}}; }
+
+TEST(CsrGraph, EmptyGraph) {
+  const auto g = CsrGraph::fromEdges(0, {});
+  EXPECT_EQ(g.numVertices(), 0u);
+  EXPECT_EQ(g.numEdges(), 0u);
+}
+
+TEST(CsrGraph, VerticesWithoutEdges) {
+  const auto g = CsrGraph::fromEdges(5, {});
+  EXPECT_EQ(g.numVertices(), 5u);
+  EXPECT_EQ(g.numEdges(), 0u);
+  EXPECT_EQ(g.outDegree(3), 0u);
+  EXPECT_EQ(g.inDegree(3), 0u);
+}
+
+TEST(CsrGraph, TriangleAdjacency) {
+  const auto es = triangle();
+  const auto g = CsrGraph::fromEdges(3, es);
+  EXPECT_EQ(g.numEdges(), 3u);
+  ASSERT_EQ(g.out(0).size(), 1u);
+  EXPECT_EQ(g.out(0)[0], 1u);
+  ASSERT_EQ(g.in(0).size(), 1u);
+  EXPECT_EQ(g.in(0)[0], 2u);
+  g.validate();
+}
+
+TEST(CsrGraph, DeduplicatesByDefault) {
+  const std::vector<Edge> es = {{0, 1}, {0, 1}, {1, 0}};
+  const auto g = CsrGraph::fromEdges(2, es);
+  EXPECT_EQ(g.numEdges(), 2u);
+}
+
+TEST(CsrGraph, KeepsDuplicatesWhenAsked) {
+  // dedup=false is only valid for already-unique inputs; check that a
+  // unique input passes through unchanged.
+  const auto es = triangle();
+  const auto g = CsrGraph::fromEdges(3, es, /*dedup=*/false);
+  EXPECT_EQ(g.numEdges(), 3u);
+  g.validate();
+}
+
+TEST(CsrGraph, AdjacencyIsSorted) {
+  const std::vector<Edge> es = {{0, 3}, {0, 1}, {0, 2}};
+  const auto g = CsrGraph::fromEdges(4, es);
+  const auto adj = g.out(0);
+  EXPECT_TRUE(std::is_sorted(adj.begin(), adj.end()));
+}
+
+TEST(CsrGraph, HasEdge) {
+  const auto g = CsrGraph::fromEdges(3, triangle());
+  EXPECT_TRUE(g.hasEdge(0, 1));
+  EXPECT_FALSE(g.hasEdge(1, 0));
+  EXPECT_FALSE(g.hasEdge(0, 2));
+  EXPECT_FALSE(g.hasEdge(7, 0));  // out of range is just "absent"
+}
+
+TEST(CsrGraph, SelfLoopCountsInBothDirections) {
+  const std::vector<Edge> es = {{0, 0}, {0, 1}};
+  const auto g = CsrGraph::fromEdges(2, es);
+  EXPECT_EQ(g.outDegree(0), 2u);
+  EXPECT_EQ(g.inDegree(0), 1u);
+  EXPECT_TRUE(g.hasEdge(0, 0));
+}
+
+TEST(CsrGraph, EdgesRoundTrip) {
+  const auto es = triangle();
+  const auto g = CsrGraph::fromEdges(3, es);
+  auto out = g.edges();
+  auto sorted = es;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(out, sorted);
+}
+
+TEST(CsrGraph, OutOfRangeEndpointThrows) {
+  const std::vector<Edge> es = {{0, 9}};
+  EXPECT_THROW(CsrGraph::fromEdges(3, es), std::out_of_range);
+}
+
+TEST(CsrGraph, InOutDegreesConsistent) {
+  const std::vector<Edge> es = {{0, 1}, {0, 2}, {1, 2}, {3, 2}};
+  const auto g = CsrGraph::fromEdges(4, es);
+  EdgeId outSum = 0, inSum = 0;
+  for (VertexId v = 0; v < g.numVertices(); ++v) {
+    outSum += g.outDegree(v);
+    inSum += g.inDegree(v);
+  }
+  EXPECT_EQ(outSum, g.numEdges());
+  EXPECT_EQ(inSum, g.numEdges());
+  EXPECT_EQ(g.inDegree(2), 3u);
+}
+
+TEST(DynamicDigraph, AddAndRemove) {
+  DynamicDigraph g(4);
+  EXPECT_TRUE(g.addEdge(0, 1));
+  EXPECT_FALSE(g.addEdge(0, 1));  // duplicate
+  EXPECT_TRUE(g.hasEdge(0, 1));
+  EXPECT_EQ(g.numEdges(), 1u);
+  EXPECT_TRUE(g.removeEdge(0, 1));
+  EXPECT_FALSE(g.removeEdge(0, 1));  // already gone
+  EXPECT_EQ(g.numEdges(), 0u);
+}
+
+TEST(DynamicDigraph, OutOfRangeThrows) {
+  DynamicDigraph g(2);
+  EXPECT_THROW(g.addEdge(0, 5), std::out_of_range);
+  EXPECT_THROW(g.removeEdge(5, 0), std::out_of_range);
+}
+
+TEST(DynamicDigraph, MaintainsInAdjacency) {
+  DynamicDigraph g(3);
+  g.addEdge(0, 2);
+  g.addEdge(1, 2);
+  ASSERT_EQ(g.in(2).size(), 2u);
+  EXPECT_EQ(g.in(2)[0], 0u);
+  EXPECT_EQ(g.in(2)[1], 1u);
+  g.removeEdge(0, 2);
+  ASSERT_EQ(g.in(2).size(), 1u);
+  EXPECT_EQ(g.in(2)[0], 1u);
+}
+
+TEST(DynamicDigraph, ApplyBatchReportsCounts) {
+  auto g = DynamicDigraph::fromEdges(4, std::vector<Edge>{{0, 1}, {1, 2}});
+  BatchUpdate batch;
+  batch.deletions = {{0, 1}, {2, 3}};   // second is absent
+  batch.insertions = {{3, 0}, {1, 2}};  // second is duplicate
+  const auto report = g.applyBatch(batch);
+  EXPECT_EQ(report.deleted, 1u);
+  EXPECT_EQ(report.missedDeletions, 1u);
+  EXPECT_EQ(report.inserted, 1u);
+  EXPECT_EQ(report.duplicateInsertions, 1u);
+  EXPECT_FALSE(g.hasEdge(0, 1));
+  EXPECT_TRUE(g.hasEdge(3, 0));
+}
+
+TEST(DynamicDigraph, BatchThenInverseRestoresGraph) {
+  auto g = DynamicDigraph::fromEdges(4, std::vector<Edge>{{0, 1}, {1, 2}, {2, 3}});
+  const auto before = g.edges();
+  BatchUpdate batch;
+  batch.deletions = {{1, 2}};
+  batch.insertions = {{3, 1}};
+  g.applyBatch(batch);
+  g.applyBatch(batch.inverted());
+  EXPECT_EQ(g.edges(), before);
+}
+
+TEST(DynamicDigraph, EnsureSelfLoops) {
+  DynamicDigraph g(3);
+  g.addEdge(0, 0);
+  EXPECT_EQ(g.ensureSelfLoops(), 2u);
+  for (VertexId v = 0; v < 3; ++v) EXPECT_TRUE(g.hasEdge(v, v));
+  EXPECT_EQ(g.ensureSelfLoops(), 0u);  // idempotent
+}
+
+TEST(DynamicDigraph, ToCsrMatchesFromEdges) {
+  const std::vector<Edge> es = {{0, 1}, {1, 2}, {2, 0}, {0, 2}};
+  const auto g = DynamicDigraph::fromEdges(3, es).toCsr();
+  const auto h = CsrGraph::fromEdges(3, es);
+  EXPECT_EQ(g, h);
+  g.validate();
+}
+
+TEST(DynamicDigraph, FromCsrRoundTrip) {
+  const std::vector<Edge> es = {{0, 1}, {1, 2}, {2, 0}};
+  const auto csr = CsrGraph::fromEdges(3, es);
+  const auto dyn = DynamicDigraph::fromCsr(csr);
+  EXPECT_EQ(dyn.numEdges(), csr.numEdges());
+  EXPECT_EQ(dyn.toCsr(), csr);
+}
+
+TEST(GraphIo, EdgeListRoundTrip) {
+  std::stringstream ss;
+  writeEdgeList(ss, triangle(), "test graph");
+  const auto data = readEdgeList(ss);
+  EXPECT_EQ(data.numVertices, 3u);
+  EXPECT_EQ(data.edges, triangle());
+}
+
+TEST(GraphIo, SkipsCommentsAndBlanks) {
+  std::istringstream is("# header\n\n% other comment\n0 1\n1 2\n");
+  const auto data = readEdgeList(is);
+  EXPECT_EQ(data.edges.size(), 2u);
+}
+
+TEST(GraphIo, MalformedEdgeListThrows) {
+  std::istringstream is("0\n");
+  EXPECT_THROW(readEdgeList(is), std::runtime_error);
+}
+
+TEST(GraphIo, TemporalEdgeList) {
+  std::istringstream is("# t\n0 1 100\n1 2 200\n");
+  const auto data = readTemporalEdgeList(is);
+  ASSERT_EQ(data.edges.size(), 2u);
+  EXPECT_EQ(data.edges[0].time, 100u);
+  EXPECT_EQ(data.numVertices, 3u);
+}
+
+TEST(GraphIo, MatrixMarketGeneralPattern) {
+  std::istringstream is(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "% comment\n"
+      "3 3 2\n"
+      "1 2\n"
+      "3 1\n");
+  const auto data = readMatrixMarket(is);
+  EXPECT_EQ(data.numVertices, 3u);
+  const std::vector<Edge> expect = {{0, 1}, {2, 0}};
+  EXPECT_EQ(data.edges, expect);
+}
+
+TEST(GraphIo, MatrixMarketSymmetricExpands) {
+  std::istringstream is(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 2\n"
+      "2 1 0.5\n"
+      "3 3 1.0\n");
+  const auto data = readMatrixMarket(is);
+  // (2,1) expands to both directions; the diagonal entry does not.
+  EXPECT_EQ(data.edges.size(), 3u);
+}
+
+TEST(GraphIo, MatrixMarketRoundTrip) {
+  std::stringstream ss;
+  writeMatrixMarket(ss, 3, triangle());
+  const auto data = readMatrixMarket(ss);
+  EXPECT_EQ(data.edges, triangle());
+}
+
+TEST(GraphIo, NotMatrixMarketThrows) {
+  std::istringstream is("garbage\n");
+  EXPECT_THROW(readMatrixMarket(is), std::runtime_error);
+}
+
+TEST(GraphIo, MatrixMarketZeroBasedEntryThrows) {
+  std::istringstream is(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 1\n"
+      "0 1\n");
+  EXPECT_THROW(readMatrixMarket(is), std::runtime_error);
+}
+
+TEST(GraphStats, CountsDeadEndsAndSelfLoops) {
+  // 0->1, 1->1 (self loop); 2 is isolated and a dead end.
+  const std::vector<Edge> es = {{0, 1}, {1, 1}};
+  const auto g = CsrGraph::fromEdges(3, es);
+  const auto s = computeStats(g);
+  EXPECT_EQ(s.numVertices, 3u);
+  EXPECT_EQ(s.numEdges, 2u);
+  EXPECT_EQ(s.numDeadEnds, 1u);
+  EXPECT_EQ(s.numSelfLoops, 1u);
+  EXPECT_EQ(s.numIsolated, 1u);
+  EXPECT_EQ(s.maxInDegree, 2u);
+  EXPECT_NEAR(s.avgOutDegree, 2.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace lfpr

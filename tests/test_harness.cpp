@@ -1,0 +1,116 @@
+// Tests for the experiment harness: dataset registry properties (the
+// stand-ins must actually look like their families), scenario assembly.
+#include <gtest/gtest.h>
+
+#include "graph/stats.hpp"
+#include "harness/datasets.hpp"
+#include "harness/scenario.hpp"
+#include "pagerank/pagerank.hpp"
+
+namespace lfpr {
+namespace {
+
+TEST(Datasets, TwelveStaticStandIns) {
+  const auto specs = staticDatasets(0);
+  EXPECT_EQ(specs.size(), 12u);
+  int web = 0, social = 0, road = 0, kmer = 0;
+  for (const auto& s : specs) {
+    if (s.family == "web") ++web;
+    if (s.family == "social") ++social;
+    if (s.family == "road") ++road;
+    if (s.family == "kmer") ++kmer;
+    EXPECT_FALSE(s.paperName.empty());
+    EXPECT_GT(s.paperVertices, 0.0);
+  }
+  EXPECT_EQ(web, 6);
+  EXPECT_EQ(social, 2);
+  EXPECT_EQ(road, 2);
+  EXPECT_EQ(kmer, 2);
+}
+
+TEST(Datasets, BuildsAreSelfLoopedAndDeadEndFree) {
+  for (const auto& spec : representativeDatasets(0)) {
+    const auto g = spec.build(1).toCsr();
+    const auto s = computeStats(g);
+    EXPECT_EQ(s.numDeadEnds, 0u) << spec.name;
+    EXPECT_EQ(s.numSelfLoops, s.numVertices) << spec.name;
+    EXPECT_GT(s.numVertices, 100u) << spec.name;
+  }
+}
+
+TEST(Datasets, FamiliesMatchDegreeRegimes) {
+  for (const auto& spec : staticDatasets(0)) {
+    const auto s = computeStats(spec.build(2).toCsr());
+    // avgOutDegree includes the +1 self-loop per vertex.
+    if (spec.family == "road" || spec.family == "kmer") {
+      EXPECT_LT(s.avgOutDegree, 7.0) << spec.name;
+    } else {
+      EXPECT_GT(s.avgOutDegree, 7.0) << spec.name;
+    }
+  }
+}
+
+TEST(Datasets, BuildsAreDeterministicPerSeed) {
+  const auto spec = representativeDatasets(0).front();
+  EXPECT_EQ(spec.build(7).toCsr(), spec.build(7).toCsr());
+}
+
+TEST(Datasets, RepresentativeCoversEachFamilyOnce) {
+  const auto reps = representativeDatasets(0);
+  ASSERT_EQ(reps.size(), 4u);
+  std::set<std::string> families;
+  for (const auto& r : reps) families.insert(r.family);
+  EXPECT_EQ(families.size(), 4u);
+}
+
+TEST(Datasets, ScaleGrowsSizes) {
+  const auto small = staticDatasets(0);
+  const auto large = staticDatasets(1);
+  // Compare one non-RMAT dataset (linear scaling) across scales.
+  const auto& s0 = small.back();
+  const auto& s1 = large.back();
+  EXPECT_LT(s0.build(1).numVertices(), s1.build(1).numVertices());
+}
+
+TEST(Datasets, TemporalSpecs) {
+  const auto specs = temporalDatasets(0);
+  ASSERT_EQ(specs.size(), 2u);
+  for (const auto& spec : specs) {
+    const auto data = spec.build(3);
+    EXPECT_GT(data.edges.size(), 1000u) << spec.name;
+    EXPECT_GT(data.numVertices, 100u) << spec.name;
+  }
+}
+
+TEST(Scenario, PrevPlusBatchEqualsCurr) {
+  PageRankOptions opt;
+  opt.numThreads = 2;
+  const auto spec = representativeDatasets(0).front();
+  auto base = spec.build(4);
+  const auto scenario = makeScenario(std::move(base), 1e-3, 5, opt);
+
+  auto check = DynamicDigraph::fromCsr(scenario.prev);
+  check.applyBatch(scenario.batch);
+  EXPECT_EQ(check.toCsr(), scenario.curr);
+}
+
+TEST(Scenario, PrevRanksAreConvergedOnPrev) {
+  PageRankOptions opt;
+  opt.numThreads = 2;
+  const auto spec = representativeDatasets(0)[2];  // road: cheap
+  const auto scenario = makeScenario(spec.build(6), 1e-3, 7, opt);
+  EXPECT_LT(linfNorm(scenario.prevRanks, referenceRanks(scenario.prev)), 1e-8);
+}
+
+TEST(Scenario, RunOnScenarioUsesTheBatch) {
+  PageRankOptions opt;
+  opt.numThreads = 2;
+  const auto spec = representativeDatasets(0)[2];
+  const auto scenario = makeScenario(spec.build(8), 1e-3, 9, opt);
+  const auto r = runOnScenario(Approach::DFLF, scenario, opt);
+  EXPECT_TRUE(r.converged);
+  EXPECT_GT(r.affectedVertices, 0u);
+}
+
+}  // namespace
+}  // namespace lfpr

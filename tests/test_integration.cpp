@@ -1,0 +1,166 @@
+// Integration tests: end-to-end flows a downstream user would run —
+// maintaining ranks over a temporal stream, sustained random churn with
+// the lock-free engine, file I/O round trips feeding the solver.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "generate/batch_gen.hpp"
+#include "generate/generators.hpp"
+#include "generate/temporal_replay.hpp"
+#include "graph/io.hpp"
+#include "graph/stats.hpp"
+#include "harness/scenario.hpp"
+#include "pagerank/pagerank.hpp"
+#include "util/rng.hpp"
+
+namespace lfpr {
+namespace {
+
+PageRankOptions testOptions() {
+  PageRankOptions opt;
+  opt.numThreads = 4;
+  opt.chunkSize = 128;
+  return opt;
+}
+
+TEST(Integration, TemporalReplayMaintainsAccurateRanks) {
+  // The paper's real-world-dynamic protocol end to end: 90% preload, then
+  // insertion-only batches updated with DFLF, checked against reference
+  // ranks after every batch.
+  Rng rng(1);
+  TemporalEdgeListData data;
+  data.numVertices = 400;
+  data.edges = generateTemporalStream(400, 6000, 0.4, rng);
+  auto replay = makeTemporalReplay(data, 0.9, 1e-3, 5);
+  ASSERT_GE(replay.batches.size(), 3u);
+
+  const auto opt = testOptions();
+  auto graph = std::move(replay.initial);
+  auto ranks = staticBB(graph.toCsr(), opt).ranks;
+
+  for (std::size_t i = 0; i < replay.batches.size(); ++i) {
+    const auto prev = graph.toCsr();
+    graph.applyBatch(replay.batches[i]);
+    const auto curr = graph.toCsr();
+    const auto r = dfLF(prev, curr, replay.batches[i], ranks, opt);
+    ASSERT_TRUE(r.converged) << "batch " << i;
+    ranks = r.ranks;
+    EXPECT_LT(linfNorm(ranks, referenceRanks(curr)), 1e-6) << "batch " << i;
+  }
+}
+
+TEST(Integration, SustainedChurnAlternatingEngines) {
+  // Mixed usage: alternate DFLF / DFBB / NDLF across batches of random
+  // insertions and deletions; accuracy must not drift.
+  Rng rng(2);
+  auto es = generateRmat(10, 8000, rng);
+  appendSelfLoops(es, 1024);
+  auto graph = DynamicDigraph::fromEdges(1024, es);
+  const auto opt = testOptions();
+  auto ranks = staticBB(graph.toCsr(), opt).ranks;
+
+  for (int step = 0; step < 6; ++step) {
+    const auto prev = graph.toCsr();
+    const auto batch = generateBatch(graph, 30, rng);
+    graph.applyBatch(batch);
+    const auto curr = graph.toCsr();
+    PageRankResult r;
+    switch (step % 3) {
+      case 0: r = dfLF(prev, curr, batch, ranks, opt); break;
+      case 1: r = dfBB(prev, curr, batch, ranks, opt); break;
+      default: r = ndLF(curr, ranks, opt); break;
+    }
+    ASSERT_TRUE(r.converged) << "step " << step;
+    ranks = r.ranks;
+  }
+  EXPECT_LT(linfNorm(ranks, referenceRanks(graph.toCsr())), 1e-6);
+}
+
+TEST(Integration, EdgeListFileFeedsSolver) {
+  namespace fs = std::filesystem;
+  const auto path = fs::temp_directory_path() / "lfpr_test_graph.txt";
+
+  Rng rng(3);
+  auto es = generateErdosRenyi(300, 2000, rng);
+  appendSelfLoops(es, 300);
+  {
+    std::ofstream out(path);
+    writeEdgeList(out, es, "integration test graph");
+  }
+  const auto data = readEdgeListFile(path.string());
+  fs::remove(path);
+
+  ASSERT_EQ(data.numVertices, 300u);
+  const auto g = CsrGraph::fromEdges(data.numVertices, data.edges);
+  const auto direct = CsrGraph::fromEdges(300, es);
+  EXPECT_EQ(g, direct);
+
+  const auto r = staticLF(g, testOptions());
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(rankSum(r.ranks), 1.0, 1e-9);
+}
+
+TEST(Integration, MatrixMarketFileFeedsSolver) {
+  namespace fs = std::filesystem;
+  const auto path = fs::temp_directory_path() / "lfpr_test_graph.mtx";
+
+  Rng rng(4);
+  auto es = generateErdosRenyi(200, 1500, rng);
+  appendSelfLoops(es, 200);
+  {
+    std::ofstream out(path);
+    writeMatrixMarket(out, 200, es);
+  }
+  const auto data = readMatrixMarketFile(path.string());
+  fs::remove(path);
+
+  const auto g = CsrGraph::fromEdges(data.numVertices, data.edges);
+  EXPECT_EQ(computeStats(g).numDeadEnds, 0u);
+  EXPECT_TRUE(staticBB(g, testOptions()).converged);
+}
+
+TEST(Integration, WarmStartBeatsColdStartOnIterations) {
+  // The economic argument for dynamic PageRank: after a small update,
+  // warm-started engines should need fewer iterations than a cold static
+  // run.
+  const auto opt = testOptions();
+  Rng rng(5);
+  auto es = generateRmat(11, 16000, rng);
+  appendSelfLoops(es, 2048);
+  auto base = DynamicDigraph::fromEdges(2048, es);
+  const auto scenario = makeScenario(std::move(base), 1e-4, 6, opt);
+
+  const auto cold = staticBB(scenario.curr, opt);
+  const auto warm = ndBB(scenario.curr, scenario.prevRanks, opt);
+  ASSERT_TRUE(cold.converged);
+  ASSERT_TRUE(warm.converged);
+  EXPECT_LT(warm.iterations, cold.iterations);
+
+  const auto df = dfLF(scenario.prev, scenario.curr, scenario.batch,
+                       scenario.prevRanks, opt);
+  ASSERT_TRUE(df.converged);
+  EXPECT_LT(df.rankUpdates, cold.rankUpdates);
+}
+
+TEST(Integration, SnapshotsAreImmutableAcrossUpdates) {
+  // The interleaving contract (Section 3.4): applying further updates to
+  // the dynamic graph must not disturb a snapshot an engine is using.
+  Rng rng(7);
+  auto es = generateErdosRenyi(200, 1500, rng);
+  appendSelfLoops(es, 200);
+  auto graph = DynamicDigraph::fromEdges(200, es);
+  const auto snapshot = graph.toCsr();
+  const auto before = snapshot.edges();
+
+  const auto batch = generateBatch(graph, 50, rng);
+  graph.applyBatch(batch);
+
+  EXPECT_EQ(snapshot.edges(), before);
+  EXPECT_NE(graph.toCsr(), snapshot);
+}
+
+}  // namespace
+}  // namespace lfpr

@@ -1,0 +1,108 @@
+// Tests for the OpenMP engine variants: they must agree with the native
+// ThreadTeam engines (same algorithms, different runtime).
+#include <gtest/gtest.h>
+
+#include "generate/generators.hpp"
+#include "harness/scenario.hpp"
+#include "pagerank/omp_engines.hpp"
+#include "pagerank/pagerank.hpp"
+#include "util/rng.hpp"
+
+namespace lfpr {
+namespace {
+
+PageRankOptions testOptions() {
+  PageRankOptions opt;
+  opt.numThreads = 4;
+  opt.chunkSize = 64;
+  return opt;
+}
+
+DynamicScenario makeOmpScenario(std::uint64_t seed) {
+  Rng rng(seed);
+  auto es = generateRmat(9, 4000, rng);
+  appendSelfLoops(es, 512);
+  auto base = DynamicDigraph::fromEdges(512, es);
+  return makeScenario(std::move(base), 1e-2, seed + 1, testOptions());
+}
+
+TEST(OmpEngines, Available) { EXPECT_TRUE(omp::available()); }
+
+TEST(OmpEngines, ThreadsForRespectsOption) {
+  PageRankOptions opt;
+  opt.numThreads = 3;
+  EXPECT_EQ(omp::threadsFor(opt), 3);
+  opt.numThreads = 0;
+  EXPECT_GE(omp::threadsFor(opt), 1);
+}
+
+TEST(OmpEngines, StaticEnginesMatchReference) {
+  const auto scenario = makeOmpScenario(1);
+  const auto ref = referenceRanks(scenario.curr);
+  const auto bb = omp::staticBB(scenario.curr, testOptions());
+  const auto lf = omp::staticLF(scenario.curr, testOptions());
+  ASSERT_TRUE(bb.converged);
+  ASSERT_TRUE(lf.converged);
+  EXPECT_LT(linfNorm(bb.ranks, ref), 1e-9);
+  EXPECT_LT(linfNorm(lf.ranks, ref), 1e-6);
+}
+
+TEST(OmpEngines, NdEnginesMatchNative) {
+  const auto scenario = makeOmpScenario(2);
+  const auto native = ndBB(scenario.curr, scenario.prevRanks, testOptions());
+  const auto viaOmp = omp::ndBB(scenario.curr, scenario.prevRanks, testOptions());
+  EXPECT_EQ(native.ranks, viaOmp.ranks);  // both synchronous Jacobi: bitwise
+  const auto lf = omp::ndLF(scenario.curr, scenario.prevRanks, testOptions());
+  ASSERT_TRUE(lf.converged);
+  EXPECT_LT(linfNorm(lf.ranks, native.ranks), 1e-6);
+}
+
+TEST(OmpEngines, DfEnginesMatchReference) {
+  const auto scenario = makeOmpScenario(3);
+  const auto ref = referenceRanks(scenario.curr);
+  const auto bb = omp::dfBB(scenario.prev, scenario.curr, scenario.batch,
+                            scenario.prevRanks, testOptions());
+  const auto lf = omp::dfLF(scenario.prev, scenario.curr, scenario.batch,
+                            scenario.prevRanks, testOptions());
+  ASSERT_TRUE(bb.converged);
+  ASSERT_TRUE(lf.converged);
+  EXPECT_LT(linfNorm(bb.ranks, ref), 1e-8);
+  EXPECT_LT(linfNorm(lf.ranks, ref), 1e-6);
+  EXPECT_GT(bb.affectedVertices, 0u);
+  EXPECT_GT(lf.affectedVertices, 0u);
+}
+
+TEST(OmpEngines, DfBBMatchesNativeDfBB) {
+  // Same synchronous algorithm on two runtimes. Frontier expansion races
+  // benignly within an iteration, so converged ranks (not the bitwise
+  // trace) are the comparable artifact.
+  const auto scenario = makeOmpScenario(4);
+  const auto native = dfBB(scenario.prev, scenario.curr, scenario.batch,
+                           scenario.prevRanks, testOptions());
+  const auto viaOmp = omp::dfBB(scenario.prev, scenario.curr, scenario.batch,
+                                scenario.prevRanks, testOptions());
+  ASSERT_TRUE(native.converged);
+  ASSERT_TRUE(viaOmp.converged);
+  EXPECT_LT(linfNorm(native.ranks, viaOmp.ranks), 1e-9);
+}
+
+TEST(OmpEngines, RejectsBadRankVector) {
+  const auto scenario = makeOmpScenario(5);
+  const std::vector<double> bad(3, 0.0);
+  EXPECT_THROW(omp::ndBB(scenario.curr, bad), std::invalid_argument);
+  EXPECT_THROW(omp::ndLF(scenario.curr, bad), std::invalid_argument);
+  EXPECT_THROW(
+      omp::dfLF(scenario.prev, scenario.curr, scenario.batch, bad),
+      std::invalid_argument);
+}
+
+TEST(OmpEngines, EmptyBatchIsCheap) {
+  const auto scenario = makeOmpScenario(6);
+  const auto r = omp::dfLF(scenario.prev, scenario.curr, BatchUpdate{},
+                           scenario.prevRanks, testOptions());
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.affectedVertices, 0u);
+}
+
+}  // namespace
+}  // namespace lfpr

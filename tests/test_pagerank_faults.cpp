@@ -1,0 +1,228 @@
+// Fault-tolerance tests (Sections 5.3 / 5.4): the lock-free engines must
+// converge under injected random delays and crash-stop failures, while
+// the barrier-based engines deadlock (detected via barrier timeout) when
+// a thread crashes.
+#include <gtest/gtest.h>
+
+#include "generate/generators.hpp"
+#include "harness/scenario.hpp"
+#include "pagerank/pagerank.hpp"
+#include "util/rng.hpp"
+
+namespace lfpr {
+namespace {
+
+PageRankOptions faultOptions() {
+  PageRankOptions opt;
+  opt.numThreads = 8;
+  opt.chunkSize = 64;
+  opt.barrierTimeout = std::chrono::milliseconds(1500);
+  return opt;
+}
+
+DynamicScenario makeFaultScenario(std::uint64_t seed) {
+  Rng rng(seed);
+  auto es = generateRmat(10, 8000, rng);
+  appendSelfLoops(es, 1024);
+  auto base = DynamicDigraph::fromEdges(1024, es);
+  return makeScenario(std::move(base), 1e-2, seed + 1, faultOptions());
+}
+
+TEST(Faults, DFLFConvergesUnderRandomDelays) {
+  const auto scenario = makeFaultScenario(1);
+  const auto ref = referenceRanks(scenario.curr);
+  FaultConfig cfg;
+  cfg.delayProbability = 2e-4;
+  cfg.delayDuration = std::chrono::microseconds(2000);
+  FaultInjector fault(8, cfg);
+  const auto r = dfLF(scenario.prev, scenario.curr, scenario.batch,
+                      scenario.prevRanks, faultOptions(), &fault);
+  EXPECT_TRUE(r.converged);
+  EXPECT_FALSE(r.dnf);
+  EXPECT_LT(linfNorm(r.ranks, ref), 1e-6);
+  EXPECT_GT(fault.delaysInjected(), 0u);
+}
+
+TEST(Faults, NDLFConvergesUnderRandomDelays) {
+  const auto scenario = makeFaultScenario(2);
+  FaultConfig cfg;
+  cfg.delayProbability = 1e-4;
+  cfg.delayDuration = std::chrono::microseconds(1000);
+  FaultInjector fault(8, cfg);
+  const auto r = ndLF(scenario.curr, scenario.prevRanks, faultOptions(), &fault);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(linfNorm(r.ranks, referenceRanks(scenario.curr)), 1e-6);
+}
+
+class CrashSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrashSweep, DFLFSurvivesCrashedThreads) {
+  const int numCrashing = GetParam();
+  const auto scenario = makeFaultScenario(3);
+  const auto ref = referenceRanks(scenario.curr);
+  // Deterministic low thresholds on threads 0..k-1: they crash as soon as
+  // they have done a handful of updates. (On an oversubscribed host a
+  // scheduled thread may be starved and never reach its threshold — then
+  // it is simply idle, which is indistinguishable from crashed as far as
+  // the survivors are concerned, so we do not assert the exact count.)
+  FaultConfig cfg;
+  cfg.crashAfterUpdates.assign(8, FaultConfig::noCrash);
+  for (int t = 0; t < numCrashing; ++t)
+    cfg.crashAfterUpdates[static_cast<std::size_t>(t)] =
+        static_cast<std::uint64_t>(5 + 3 * t);
+  FaultInjector fault(8, cfg);
+  const auto r = dfLF(scenario.prev, scenario.curr, scenario.batch,
+                      scenario.prevRanks, faultOptions(), &fault);
+  EXPECT_TRUE(r.converged) << numCrashing << " crashed threads";
+  EXPECT_FALSE(r.dnf);
+  EXPECT_LT(linfNorm(r.ranks, ref), 1e-6);
+  EXPECT_LE(fault.numCrashed(), numCrashing);
+}
+
+INSTANTIATE_TEST_SUITE_P(CrashCounts, CrashSweep, ::testing::Values(1, 2, 4, 7),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "crash" + std::to_string(info.param);
+                         });
+
+TEST(Faults, CrashDefinitelyTriggersWithTwoHotThreads) {
+  // Two threads on two cores both run hot, so the scheduled crash is
+  // guaranteed to fire — pinning down that the injector works end to end.
+  const auto scenario = makeFaultScenario(30);
+  const auto ref = referenceRanks(scenario.curr);
+  auto opt = faultOptions();
+  opt.numThreads = 2;
+  FaultConfig cfg;
+  cfg.crashAfterUpdates = {FaultConfig::noCrash, 25};
+  FaultInjector fault(2, cfg);
+  const auto r = dfLF(scenario.prev, scenario.curr, scenario.batch,
+                      scenario.prevRanks, opt, &fault);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(fault.numCrashed(), 1);
+  EXPECT_TRUE(fault.crashed(1));
+  EXPECT_LT(linfNorm(r.ranks, ref), 1e-6);
+}
+
+TEST(Faults, StaticLFSurvivesCrashes) {
+  const auto scenario = makeFaultScenario(4);
+  FaultInjector fault(8, makeCrashConfig(8, 4, 50, 3000, 5));
+  const auto r = staticLF(scenario.curr, faultOptions(), &fault);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(linfNorm(r.ranks, referenceRanks(scenario.curr)), 1e-6);
+}
+
+TEST(Faults, DTLFSurvivesCrashes) {
+  const auto scenario = makeFaultScenario(5);
+  FaultInjector fault(8, makeCrashConfig(8, 3, 50, 3000, 6));
+  const auto r = dtLF(scenario.prev, scenario.curr, scenario.batch,
+                      scenario.prevRanks, faultOptions(), &fault);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(linfNorm(r.ranks, referenceRanks(scenario.curr)), 1e-6);
+}
+
+TEST(Faults, AllThreadsCrashedMeansNoConvergence) {
+  const auto scenario = makeFaultScenario(6);
+  FaultConfig cfg;
+  cfg.crashAfterUpdates.assign(8, 1);  // everyone crashes immediately
+  FaultInjector fault(8, cfg);
+  const auto r = dfLF(scenario.prev, scenario.curr, scenario.batch,
+                      scenario.prevRanks, faultOptions(), &fault);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(fault.numCrashed(), 8);
+}
+
+TEST(Faults, DFBBDeadlocksOnCrashReportedAsDNF) {
+  // Section 5.4: "DFBB fails to complete the computation even if a single
+  // thread crashes." The instrumented barrier turns the deadlock into a
+  // DNF report.
+  const auto scenario = makeFaultScenario(7);
+  auto opt = faultOptions();
+  opt.barrierTimeout = std::chrono::milliseconds(300);
+  // Half the team crashes within its first couple of updates; at least one
+  // of them is guaranteed to pick up work, and one crashed thread suffices
+  // to break the barrier.
+  FaultConfig cfg;
+  cfg.crashAfterUpdates = {2, 2, 2, 2, FaultConfig::noCrash, FaultConfig::noCrash,
+                           FaultConfig::noCrash, FaultConfig::noCrash};
+  FaultInjector fault(8, cfg);
+  const auto r = dfBB(scenario.prev, scenario.curr, scenario.batch,
+                      scenario.prevRanks, opt, &fault);
+  EXPECT_TRUE(r.dnf);
+  EXPECT_FALSE(r.converged);
+}
+
+TEST(Faults, StaticBBDeadlocksOnCrashReportedAsDNF) {
+  const auto scenario = makeFaultScenario(8);
+  auto opt = faultOptions();
+  opt.barrierTimeout = std::chrono::milliseconds(300);
+  FaultConfig cfg;
+  cfg.crashAfterUpdates = {2, 2, 2, 2, FaultConfig::noCrash, FaultConfig::noCrash,
+                           FaultConfig::noCrash, FaultConfig::noCrash};
+  FaultInjector fault(8, cfg);
+  const auto r = staticBB(scenario.curr, opt, &fault);
+  EXPECT_TRUE(r.dnf);
+  EXPECT_FALSE(r.converged);
+}
+
+TEST(Faults, BBWithDelaysStillConverges) {
+  // Delays (unlike crashes) only slow the barrier down; BB must still
+  // finish, as in Figure 8's DFBB series.
+  const auto scenario = makeFaultScenario(9);
+  FaultConfig cfg;
+  cfg.delayProbability = 1e-4;
+  cfg.delayDuration = std::chrono::microseconds(500);
+  FaultInjector fault(8, cfg);
+  const auto r = dfBB(scenario.prev, scenario.curr, scenario.batch,
+                      scenario.prevRanks, faultOptions(), &fault);
+  EXPECT_TRUE(r.converged);
+  EXPECT_FALSE(r.dnf);
+}
+
+TEST(Faults, StaticSchedulingIsNotCrashTolerant) {
+  // The Eedi et al. style fixed partition (Section 3.3.2): a crashed
+  // thread's stripe is never reprocessed, so the run cannot converge.
+  // This is exactly the gap the dynamic-scheduling StaticLF closes.
+  const auto scenario = makeFaultScenario(10);
+  auto opt = faultOptions();
+  opt.staticSchedule = true;
+  opt.maxIterations = 40;  // cap the futile rounds to keep the test fast
+  FaultConfig cfg;
+  cfg.crashAfterUpdates.assign(8, FaultConfig::noCrash);
+  cfg.crashAfterUpdates[3] = 10;  // one stripe dies early
+  FaultInjector fault(8, cfg);
+  const auto r = staticLF(scenario.curr, opt, &fault);
+  EXPECT_FALSE(r.converged);
+}
+
+TEST(Faults, DelaysDoNotChangeDFLFResultBeyondTolerance) {
+  const auto scenario = makeFaultScenario(11);
+  const auto clean = dfLF(scenario.prev, scenario.curr, scenario.batch,
+                          scenario.prevRanks, faultOptions());
+  FaultConfig cfg;
+  cfg.delayProbability = 1e-4;
+  cfg.delayDuration = std::chrono::microseconds(1000);
+  FaultInjector fault(8, cfg);
+  const auto faulty = dfLF(scenario.prev, scenario.curr, scenario.batch,
+                           scenario.prevRanks, faultOptions(), &fault);
+  ASSERT_TRUE(clean.converged);
+  ASSERT_TRUE(faulty.converged);
+  EXPECT_LT(linfNorm(clean.ranks, faulty.ranks), 1e-6);
+}
+
+TEST(Faults, CrashDuringMarkingPhaseIsTolerated) {
+  // Crash almost immediately: for dynamic engines the first few
+  // onVertexProcessed calls happen in the marking phase, so the helping
+  // rescan must cover the crashed thread's batch share.
+  const auto scenario = makeFaultScenario(12);
+  FaultConfig cfg;
+  cfg.crashAfterUpdates.assign(8, FaultConfig::noCrash);
+  cfg.crashAfterUpdates[0] = 1;
+  cfg.crashAfterUpdates[1] = 2;
+  FaultInjector fault(8, cfg);
+  const auto r = dfLF(scenario.prev, scenario.curr, scenario.batch,
+                      scenario.prevRanks, faultOptions(), &fault);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(linfNorm(r.ranks, referenceRanks(scenario.curr)), 1e-6);
+}
+
+}  // namespace
+}  // namespace lfpr

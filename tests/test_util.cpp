@@ -1,0 +1,193 @@
+// Unit tests for src/util: RNG determinism and distribution sanity,
+// summary statistics, table rendering, stopwatch.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace lfpr {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a(), b());
+}
+
+TEST(Rng, IsDeterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a(), b());
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(7);
+  const auto first = a();
+  a.reseed(7);
+  EXPECT_EQ(a(), first);
+}
+
+TEST(Rng, BelowStaysInBounds) {
+  Rng rng(1);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) ASSERT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowZeroBoundReturnsZero) {
+  Rng rng(1);
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng rng(99);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, BetweenIsInclusive) {
+  Rng rng(5);
+  bool sawLo = false, sawHi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto x = rng.between(3, 5);
+    ASSERT_GE(x, 3u);
+    ASSERT_LE(x, 5u);
+    sawLo |= x == 3;
+    sawHi |= x == 5;
+  }
+  EXPECT_TRUE(sawLo);
+  EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.chance(0.25);
+  EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(8);
+  Rng child = parent.split();
+  // Streams should not be identical in their prefix.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += parent() == child();
+  EXPECT_LT(same, 4);
+}
+
+TEST(Stats, MeanBasics) {
+  const double xs[] = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(mean(std::span<const double>{}), 0.0);
+}
+
+TEST(Stats, GeomeanOfOneAndHundredIsTen) {
+  const double xs[] = {1.0, 100.0};
+  EXPECT_NEAR(geomean(xs), 10.0, 1e-9);
+}
+
+TEST(Stats, GeomeanSingleElement) {
+  const double xs[] = {42.0};
+  EXPECT_NEAR(geomean(xs), 42.0, 1e-9);
+}
+
+TEST(Stats, GeomeanToleratesZeros) {
+  const double xs[] = {0.0, 1.0};
+  EXPECT_GE(geomean(xs), 0.0);  // clamped, not NaN
+}
+
+TEST(Stats, StddevBasics) {
+  const double xs[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(stddev(xs), 2.0, 1e-12);
+}
+
+TEST(Stats, MedianOddAndEven) {
+  const double odd[] = {3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(odd), 2.0);
+  const double even[] = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+}
+
+TEST(Stats, MinMax) {
+  const double xs[] = {5.0, -1.0, 3.0};
+  EXPECT_DOUBLE_EQ(minOf(xs), -1.0);
+  EXPECT_DOUBLE_EQ(maxOf(xs), 5.0);
+}
+
+TEST(Stats, RunningStatsMatchesBatch) {
+  RunningStats rs;
+  const double xs[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (double x : xs) rs.add(x);
+  EXPECT_EQ(rs.count(), 8u);
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-12);
+  EXPECT_NEAR(rs.stddev(), stddev(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(Table, AlignsAndCounts) {
+  Table t({"name", "value"});
+  t.addRow({"alpha", Table::num(0.85, 2)});
+  t.addRow({"tau", Table::sci(1e-10)});
+  EXPECT_EQ(t.rowCount(), 2u);
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("0.85"), std::string::npos);
+  EXPECT_NE(s.find("1.00e-10"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.addRow({"1", "2"});
+  std::ostringstream os;
+  t.printCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double ms = sw.elapsedMs();
+  EXPECT_GE(ms, 15.0);
+  EXPECT_LT(ms, 5000.0);
+}
+
+TEST(Stopwatch, ResetRestarts) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  sw.reset();
+  EXPECT_LT(sw.elapsedMs(), 10.0);
+}
+
+TEST(Timer, ToMsConverts) {
+  EXPECT_DOUBLE_EQ(toMs(std::chrono::nanoseconds(1'500'000)), 1.5);
+}
+
+}  // namespace
+}  // namespace lfpr

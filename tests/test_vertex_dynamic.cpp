@@ -1,0 +1,159 @@
+// Tests for the vertex-dynamic extension (the paper's Section 6 future
+// work): rank rescaling for vertex insertions/removals, and end-to-end
+// vertex churn driven through the Dynamic Frontier engine.
+#include <gtest/gtest.h>
+
+#include "generate/generators.hpp"
+#include "graph/dynamic_digraph.hpp"
+#include "pagerank/pagerank.hpp"
+#include "pagerank/vertex_dynamic.hpp"
+#include "util/rng.hpp"
+
+namespace lfpr {
+namespace {
+
+PageRankOptions testOptions() {
+  PageRankOptions opt;
+  opt.numThreads = 4;
+  opt.chunkSize = 64;
+  return opt;
+}
+
+TEST(ExpandRanks, PreservesMassAndOrdering) {
+  const std::vector<double> ranks = {0.5, 0.3, 0.2};
+  const auto out = expandRanksForNewVertices(ranks, 5);
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_NEAR(rankSum(out), 1.0, 1e-12);
+  EXPECT_GT(out[0], out[1]);
+  EXPECT_GT(out[1], out[2]);
+  EXPECT_NEAR(out[3], 1.0 / 5.0, 1e-12);
+  EXPECT_NEAR(out[4], 1.0 / 5.0, 1e-12);
+}
+
+TEST(ExpandRanks, NoopWhenSizeUnchanged) {
+  const std::vector<double> ranks = {0.6, 0.4};
+  EXPECT_EQ(expandRanksForNewVertices(ranks, 2), ranks);
+}
+
+TEST(ExpandRanks, FromEmpty) {
+  const auto out = expandRanksForNewVertices({}, 4);
+  ASSERT_EQ(out.size(), 4u);
+  for (double r : out) EXPECT_NEAR(r, 0.25, 1e-12);
+}
+
+TEST(ExpandRanks, RejectsShrinking) {
+  const std::vector<double> ranks = {0.5, 0.5};
+  EXPECT_THROW(expandRanksForNewVertices(ranks, 1), std::invalid_argument);
+}
+
+TEST(RemoveRanks, CompactsAndRenormalizes) {
+  const std::vector<double> ranks = {0.4, 0.3, 0.2, 0.1};
+  const std::vector<VertexId> removed = {1, 3};
+  std::vector<VertexId> remap;
+  const auto out = removeVertexRanks(ranks, removed, &remap);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_NEAR(rankSum(out), 1.0, 1e-12);
+  EXPECT_NEAR(out[0] / out[1], 0.4 / 0.2, 1e-12);  // proportions kept
+  ASSERT_EQ(remap.size(), 4u);
+  EXPECT_EQ(remap[0], 0u);
+  EXPECT_EQ(remap[1], kNoVertex);
+  EXPECT_EQ(remap[2], 1u);
+  EXPECT_EQ(remap[3], kNoVertex);
+}
+
+TEST(RemoveRanks, RejectsOutOfRange) {
+  const std::vector<double> ranks = {1.0};
+  const std::vector<VertexId> removed = {5};
+  EXPECT_THROW(removeVertexRanks(ranks, removed), std::out_of_range);
+}
+
+TEST(RemoveRanks, RemovingEverythingYieldsEmpty) {
+  const std::vector<double> ranks = {0.5, 0.5};
+  const std::vector<VertexId> removed = {0, 1};
+  EXPECT_TRUE(removeVertexRanks(ranks, removed).empty());
+}
+
+TEST(VertexDynamic, AddVertexEndToEndViaDFLF) {
+  // Build a graph, converge; then add a vertex with a few links, rescale
+  // ranks, and run DFLF with the new vertex's edges as the batch. The
+  // result must match a cold static solve on the grown graph.
+  Rng rng(1);
+  constexpr VertexId n = 512;
+  auto es = generateErdosRenyi(n, 4000, rng);
+  appendSelfLoops(es, n);
+  const auto opt = testOptions();
+
+  auto prevGraph = DynamicDigraph::fromEdges(n, es);
+  const auto prevCsr = prevGraph.toCsr();
+  PageRankOptions warm = opt;
+  warm.tolerance = 1e-15;  // below tau_f: keeps the frontier noise-free
+  const auto prevRanks = staticBB(prevCsr, warm).ranks;
+
+  // Grow the vertex set by one; the newcomer links to/from a few vertices
+  // and gets its self-loop.
+  constexpr VertexId newV = n;
+  DynamicDigraph grown(n + 1);
+  for (const Edge& e : prevGraph.edges()) grown.addEdge(e.src, e.dst);
+  // prev snapshot *with* the empty new vertex (same vertex set for the
+  // engine; the new vertex exists but has no edges yet except none).
+  const auto prevGrownCsr = grown.toCsr();
+
+  BatchUpdate batch;
+  batch.insertions = {{newV, newV}, {newV, 3}, {newV, 7}, {5, newV}, {9, newV}};
+  grown.applyBatch(batch);
+  const auto currCsr = grown.toCsr();
+
+  const auto warmRanks = expandRanksForNewVertices(prevRanks, n + 1);
+  const auto r = dfLF(prevGrownCsr, currCsr, batch, warmRanks, opt);
+  ASSERT_TRUE(r.converged);
+
+  const auto ref = referenceRanks(currCsr);
+  EXPECT_LT(linfNorm(r.ranks, ref), 1e-6);
+}
+
+TEST(VertexDynamic, RemoveVertexEndToEndViaDFLF) {
+  Rng rng(2);
+  constexpr VertexId n = 512;
+  auto es = generateErdosRenyi(n, 4000, rng);
+  appendSelfLoops(es, n);
+  const auto opt = testOptions();
+
+  auto graph = DynamicDigraph::fromEdges(n, es);
+  PageRankOptions warm = opt;
+  warm.tolerance = 1e-15;
+  const auto ranks = staticBB(graph.toCsr(), warm).ranks;
+
+  // Remove vertex `victim`: first delete its incident edges (an edge
+  // batch on the unchanged vertex set), then compact ids.
+  constexpr VertexId victim = 100;
+  const auto prevCsr = graph.toCsr();
+  BatchUpdate batch;
+  for (VertexId w : prevCsr.out(victim)) batch.deletions.push_back({victim, w});
+  for (VertexId u : prevCsr.in(victim))
+    if (u != victim) batch.deletions.push_back({u, victim});
+  graph.applyBatch(batch);
+  const auto currCsr = graph.toCsr();
+
+  const auto detached = dfLF(prevCsr, currCsr, batch, ranks, opt);
+  ASSERT_TRUE(detached.converged);
+
+  // Compact: drop the isolated vertex from graph and ranks.
+  std::vector<VertexId> remap;
+  const std::vector<VertexId> removed = {victim};
+  auto compactRanks = removeVertexRanks(detached.ranks, removed, &remap);
+  DynamicDigraph compact(n - 1);
+  for (const Edge& e : graph.edges())
+    if (e.src != victim && e.dst != victim)
+      compact.addEdge(remap[e.src], remap[e.dst]);
+  compact.ensureSelfLoops();
+
+  // The compacted warm ranks must let ND converge to the compact graph's
+  // reference quickly and accurately.
+  const auto compactCsr = compact.toCsr();
+  const auto r = ndLF(compactCsr, compactRanks, opt);
+  ASSERT_TRUE(r.converged);
+  EXPECT_LT(linfNorm(r.ranks, referenceRanks(compactCsr)), 1e-6);
+}
+
+}  // namespace
+}  // namespace lfpr
