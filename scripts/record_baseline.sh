@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Record BENCH_baseline.json — the trajectory anchor later perf PRs diff
+# against. Runs the Table-2 dataset bench and the micro-kernel bench from
+# the Release preset and wraps their raw output plus the machine/config
+# fingerprint into one JSON document.
+#
+# Usage: scripts/record_baseline.sh [build-dir]   (default: build/release)
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build/release}"
+out="$repo/BENCH_baseline.json"
+
+scale="${LFPR_BENCH_SCALE:-0}"
+threads="${LFPR_BENCH_THREADS:-4}"
+repeats="${LFPR_BENCH_REPEATS:-3}"
+export LFPR_BENCH_SCALE="$scale" LFPR_BENCH_THREADS="$threads" LFPR_BENCH_REPEATS="$repeats"
+
+table2="$("$build/bench/bench_table2_static_datasets")"
+if [[ -x "$build/bench/bench_micro_kernels" ]]; then
+  micro="$("$build/bench/bench_micro_kernels" --benchmark_format=json 2>/dev/null)"
+else
+  micro='{"skipped": "google-benchmark not available at build time"}'
+fi
+
+python3 - "$out" <<PYEOF
+import json, os, platform, subprocess, sys
+
+table2 = '''$(printf '%s' "$table2" | sed "s/'''/ /g")'''
+micro = json.loads(r'''$micro''')
+
+doc = {
+    "recorded": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
+    "commit": "$(git -C "$repo" rev-parse --short HEAD 2>/dev/null || echo unknown)",
+    "config": {
+        "LFPR_BENCH_SCALE": int("$scale"),
+        "LFPR_BENCH_THREADS": int("$threads"),
+        "LFPR_BENCH_REPEATS": int("$repeats"),
+        "build": "Release",
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+    },
+    "bench_table2_static_datasets": table2.splitlines(),
+    "bench_micro_kernels": micro,
+}
+with open(sys.argv[1], "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print("wrote", sys.argv[1])
+PYEOF

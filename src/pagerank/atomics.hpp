@@ -6,8 +6,10 @@
 // loads/stores would be data races, so we wrap std::atomic with relaxed
 // ordering — on x86-64 this compiles to the same mov instructions while
 // keeping behaviour defined. Accessors taking stronger orders exist for
-// the one place that needs them (the C "checked" helping flag, which
-// publishes the marking writes that precede it).
+// the places that need them: the C "checked" helping flag (which
+// publishes the marking writes that precede it) and the RC/chunk
+// converged flags, whose release-marking / acquire-clearing protocol is
+// documented at fetchOr() below and in lf_iterate.cpp.
 #pragma once
 
 #include <atomic>
@@ -31,6 +33,16 @@ class AtomicF64Vector {
   }
   void store(std::size_t i, double x) noexcept {
     v_[i].store(x, std::memory_order_relaxed);
+  }
+
+  /// Store x and return the value it replaced. The lock-free engines
+  /// publish every rank update through this RMW so the update's true jump
+  /// — against the value actually overwritten, not against a possibly
+  /// stale earlier read — is what convergence decisions are made from: a
+  /// delayed thread rolling a refined rank back to a stale one observes a
+  /// large jump and re-marks the vertex (see lf_iterate.cpp).
+  double exchange(std::size_t i, double x) noexcept {
+    return v_[i].exchange(x, std::memory_order_relaxed);
   }
 
   void fill(double x) noexcept {
@@ -66,6 +78,18 @@ class AtomicU8Vector {
   std::uint8_t exchange(std::size_t i, std::uint8_t x,
                         std::memory_order order = std::memory_order_relaxed) noexcept {
     return v_[i].exchange(x, order);
+  }
+
+  /// RMW mark. The lock-free engines set convergence flags exclusively via
+  /// RMW operations: under C++20 a release sequence is continued only by
+  /// RMWs, so keeping every concurrent flag mutation an RMW guarantees
+  /// that an acquire RMW reading any value of the flag synchronizes with
+  /// *every* release-marking thread earlier in the modification order —
+  /// the property the clear-then-reverify termination protocol relies on
+  /// (see lf_iterate.cpp).
+  std::uint8_t fetchOr(std::size_t i, std::uint8_t x,
+                       std::memory_order order = std::memory_order_relaxed) noexcept {
+    return v_[i].fetch_or(x, order);
   }
 
   void fill(std::uint8_t x) noexcept {

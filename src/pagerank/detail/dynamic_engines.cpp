@@ -120,6 +120,18 @@ PageRankResult dynamicLF(const CsrGraph& prev, const CsrGraph& curr,
   std::atomic<int> maxRound{0};
   std::atomic<std::uint64_t> rankUpdates{0};
 
+  const LfShared iterate{curr,
+                         ranks,
+                         notConverged,
+                         &affected,
+                         expandFrontier,
+                         chunkFlagsPtr,
+                         rounds,
+                         allConverged,
+                         maxRound,
+                         rankUpdates,
+                         resolved,
+                         fault};
   const Stopwatch timer;
   team.run([&](int tid) {
     if (fault != nullptr && fault->crashed(tid)) return;
@@ -127,26 +139,17 @@ PageRankResult dynamicLF(const CsrGraph& prev, const CsrGraph& curr,
                           affected,   notConverged, chunkFlagsPtr, resolved.chunkSize,
                           markCursor, traverse,     fault};
     if (!markAffectedWorker(mark, tid)) return;  // crashed mid-marking
-
-    const LfShared iterate{curr,
-                           ranks,
-                           notConverged,
-                           &affected,
-                           expandFrontier,
-                           chunkFlagsPtr,
-                           rounds,
-                           allConverged,
-                           maxRound,
-                           rankUpdates,
-                           resolved,
-                           fault};
     lfIterateWorker(iterate, tid);
   });
+  // Absorb flags re-marked by workers that were still in flight when the
+  // convergence scan passed (termination protocol, part 3).
+  lfFinishSequential(iterate);
   result.timeMs = timer.elapsedMs();
 
+  // The flags, not allConverged, are the authority: the finish pass can
+  // itself hit the round cap and leave the run honestly unconverged.
   result.converged =
-      allConverged.load() ||
-      (chunkFlagsPtr != nullptr ? chunkFlags.allZero() : notConverged.allZero());
+      chunkFlagsPtr != nullptr ? chunkFlags.allZero() : notConverged.allZero();
   result.iterations = maxRound.load();
   result.rankUpdates = rankUpdates.load();
   result.affectedVertices = affected.countNonZero();

@@ -1,53 +1,148 @@
 #include "pagerank/detail/lf_iterate.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "pagerank/detail/common.hpp"
+#include "pagerank/detail/flags.hpp"
 
 namespace lfpr::detail {
 
+// Termination protocol
+// --------------------
+// The convergence flags (per-vertex RC in `notConverged`, optionally the
+// per-chunk flags) are the only thing standing between the asynchronous
+// workers and premature termination with stale ranks frozen into the
+// result. The seed implementation lost updates three distinct ways; the
+// protocol below closes each of them.
+//
+//  1. Lost wakeup on clear. A thread observing a small delta cleared
+//     RC[v] with a plain store, erasing a concurrent frontier-expansion
+//     mark — every flag reads zero and convergedNow() declares
+//     convergence while v still has an unpropagated neighbour update.
+//     Fix: clear-then-reverify. The clear is an acquire RMW (exchange)
+//     followed by a re-pull with the now-visible neighbour ranks; if the
+//     rank still moves, the mark is restored. The RMW reads the latest
+//     value in the flag's modification order, so a concurrent mark either
+//     survives the clear (ordered after it) or was read by it — and all
+//     marks are release RMWs (fetchOr), so under C++20 release-sequence
+//     rules the acquire clear synchronizes with every marking thread
+//     earlier in the modification order and the re-pull observes the rank
+//     write that motivated the mark.
+//
+//  2. Stale-store rollback. A thread preempted between pulling a rank and
+//     storing it resumes arbitrarily later and rolls the vertex back to a
+//     stale value, while measuring its delta against its own equally
+//     stale earlier read — the rollback is invisible and survives into
+//     the result. Fix: ranks are published with an RMW exchange and the
+//     delta is taken against the value actually overwritten, so a
+//     destructive store observes a large jump and re-marks the vertex.
+//
+//  3. Post-scan dirt. A convergence scan can pass while an in-flight
+//     update from (1) or (2) is about to re-mark a flag; the workers then
+//     exit with a flag set. Fix: after the team joins (no concurrent
+//     writers remain), the engine calls lfFinishSequential(), which
+//     re-iterates until the flags are genuinely clean — see the gating
+//     note on its declaration.
+//
+// A vertex whose delta exceeds tau also re-asserts its own flag (not just
+// `anyUnconverged`): if the flag was cleared on a stale read in an
+// earlier round, the late mover would otherwise stay invisible to the
+// convergence scan forever.
+
 namespace {
+
+// Always RMW, never "skip because it already reads 1": a marker that
+// skips the fetchOr is absent from the flag's modification order, so a
+// concurrent acquire clear would synchronize only with the OLD marker
+// and could miss this marker's rank publish (its relaxed store can sit
+// unflushed past the relaxed flag load — StoreLoad reordering). The
+// shared primitive in flags.hpp enforces this and the vertex-before-
+// chunk order.
+void markUnconverged(const LfShared& s, VertexId w) {
+  markVertexUnconverged(s.notConverged, s.chunkFlags, s.opt.chunkSize, w);
+}
+
+/// Dynamic Frontier expansion: v's rank moved by more than tau_f, so its
+/// out-neighbours become affected and unconverged. The caller has already
+/// published v's new rank, so the release marks carry it (part 1 above).
+void expandFrontier(const LfShared& s, VertexId v) {
+  for (VertexId w : s.graph.out(v)) {
+    s.affected->store(w, 1);
+    markUnconverged(s, w);
+  }
+}
+
+/// Pull-update vertex v once and maintain its convergence flags per the
+/// protocol above.
+void updateVertex(const LfShared& s, VertexId v, double alpha, double base,
+                  std::uint64_t& updates, bool& anyUnconverged) {
+  const CsrGraph& g = s.graph;
+  const double tau = s.opt.tolerance;
+  const double tauF = s.opt.frontierTolerance;
+
+  const double r = pullRank(g, s.ranks, v, alpha, base);
+  const double dr = std::fabs(r - s.ranks.exchange(v, r));
+  ++updates;
+
+  if (s.expandFrontier && dr > tauF) expandFrontier(s, v);
+
+  if (dr > tau) {
+    anyUnconverged = true;
+    markUnconverged(s, v);
+  } else if (s.notConverged.load(v) == 1) {
+    // Clear-then-reverify (part 1). The acquire exchange makes every rank
+    // write published by a mark it overwrites visible to the re-pull; if
+    // the rank still moves, the clear was premature and the mark is
+    // restored.
+    s.notConverged.exchange(v, 0, std::memory_order_acquire);
+    const double r2 = pullRank(g, s.ranks, v, alpha, base);
+    const double dr2 = std::fabs(r2 - s.ranks.exchange(v, r2));
+    ++updates;
+    if (s.expandFrontier && dr2 > tauF) expandFrontier(s, v);
+    if (dr2 > tau) {
+      anyUnconverged = true;
+      markUnconverged(s, v);
+    }
+  }
+}
 
 /// Process vertices [begin, end); returns false if this thread crashed.
 bool processRange(const LfShared& s, int tid, std::size_t begin, std::size_t end,
                   std::uint64_t& updates, bool& anyUnconverged) {
-  const CsrGraph& g = s.graph;
   const double alpha = s.opt.alpha;
-  const double base = (1.0 - alpha) / static_cast<double>(g.numVertices());
-  const double tau = s.opt.tolerance;
-  const double tauF = s.opt.frontierTolerance;
+  const double base =
+      (1.0 - alpha) / static_cast<double>(s.graph.numVertices());
 
   for (std::size_t i = begin; i < end; ++i) {
     const auto v = static_cast<VertexId>(i);
     if (s.affected != nullptr && s.affected->load(v) == 0) continue;
-
-    const double old = s.ranks.load(v);
-    const double r = pullRank(g, s.ranks, v, alpha, base);
-    const double dr = std::fabs(r - old);
-    s.ranks.store(v, r);
-    ++updates;
-
-    if (s.expandFrontier && dr > tauF) {
-      for (VertexId w : g.out(v)) {
-        s.affected->store(w, 1);
-        s.notConverged.store(w, 1);
-        if (s.chunkFlags != nullptr)
-          s.chunkFlags->store(w / s.opt.chunkSize, 1);
-      }
-    }
-    if (dr <= tau) {
-      if (s.notConverged.load(v) == 1) s.notConverged.store(v, 0);
-    } else {
-      anyUnconverged = true;
-      if (s.chunkFlags != nullptr) s.chunkFlags->store(i / s.opt.chunkSize, 1);
-    }
-
+    updateVertex(s, v, alpha, base, updates, anyUnconverged);
     if (s.fault != nullptr && !s.fault->onVertexProcessed(tid)) return false;
   }
   return true;
 }
 
-bool convergedNow(const LfShared& s, std::size_t& scanHint) {
+/// Clear chunk flag c, then re-derive it from the per-vertex flags. Same
+/// protocol as the per-vertex clear: the acquire exchange synchronizes
+/// with any release mark it overwrites, so the rescan observes the
+/// per-vertex flag that marker set first (markUnconverged orders the
+/// vertex flag before the chunk flag).
+void clearChunkFlagAndReverify(const LfShared& s, std::size_t c) {
+  if (s.chunkFlags->load(c) == 0) return;
+  s.chunkFlags->exchange(c, 0, std::memory_order_acquire);
+  const std::size_t n = s.graph.numVertices();
+  const std::size_t b = c * s.opt.chunkSize;
+  const std::size_t e = std::min(b + s.opt.chunkSize, n);
+  for (std::size_t w = b; w < e; ++w) {
+    if (s.notConverged.load(w) != 0) {
+      s.chunkFlags->fetchOr(c, 1, std::memory_order_release);
+      return;
+    }
+  }
+}
+
+bool flagsAllZeroFrom(const LfShared& s, std::size_t& scanHint) {
   return s.chunkFlags != nullptr ? s.chunkFlags->allZeroFrom(scanHint)
                                  : s.notConverged.allZeroFrom(scanHint);
 }
@@ -81,10 +176,13 @@ void lfIterateWorker(const LfShared& s, int tid) {
         s.rankUpdates.fetch_add(updates, std::memory_order_relaxed);
         return;  // crashed
       }
+      // Chunk-by-chunk clear-then-reverify. The seed's wholesale stripe
+      // clear could wipe chunks a concurrent frontier expansion had just
+      // re-marked — the chunk-granularity variant of the lost wakeup.
       if (s.chunkFlags != nullptr && !anyUnconverged && stripeEnd > stripeBegin) {
         for (std::size_t c = stripeBegin / s.opt.chunkSize;
              c <= (stripeEnd - 1) / s.opt.chunkSize; ++c)
-          s.chunkFlags->store(c, 0);
+          clearChunkFlagAndReverify(s, c);
       }
     } else {
       std::size_t begin = 0, end = 0;
@@ -96,16 +194,55 @@ void lfIterateWorker(const LfShared& s, int tid) {
           return;  // crashed
         }
         if (s.chunkFlags != nullptr && !anyUnconverged)
-          s.chunkFlags->store(begin / s.opt.chunkSize, 0);
+          clearChunkFlagAndReverify(s, begin / s.opt.chunkSize);
       }
     }
 
     atomicMaxInt(s.maxRound, round + 1);
-    if (convergedNow(s, scanHint)) {
+    if (flagsAllZeroFrom(s, scanHint)) {
       s.allConverged.store(true, std::memory_order_relaxed);
       break;
     }
   }
+  s.rankUpdates.fetch_add(updates, std::memory_order_relaxed);
+}
+
+void lfFinishSequential(const LfShared& s) {
+  // Only repair runs whose convergence scan actually passed: a run that
+  // merely hit the round cap — or whose threads all crashed — must stay
+  // unconverged (dirty flags) rather than be silently finished here.
+  if (!s.allConverged.load(std::memory_order_relaxed)) return;
+
+  const std::size_t n = s.graph.numVertices();
+  const double alpha = s.opt.alpha;
+  const double base = (1.0 - alpha) / static_cast<double>(n);
+  std::uint64_t updates = 0;
+  std::size_t scanHint = 0;
+
+  // The pass spends what is left of the run's iteration budget (usually
+  // plenty: the scan passed well before the cap; typically 0-2 sweeps are
+  // needed) and accounts its sweeps in maxRound, so iterations and
+  // rankUpdates stay consistent and maxIterations remains a hard cap on
+  // total sweeps.
+  const int budget =
+      std::max(0, s.opt.maxIterations - s.maxRound.load(std::memory_order_relaxed));
+  int roundsDone = 0;
+  for (int round = 0; round < budget; ++round) {
+    if (flagsAllZeroFrom(s, scanHint)) break;
+    bool anyUnconverged = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto v = static_cast<VertexId>(i);
+      if (s.affected != nullptr && s.affected->load(v) == 0) continue;
+      updateVertex(s, v, alpha, base, updates, anyUnconverged);
+    }
+    if (s.chunkFlags != nullptr && !anyUnconverged) {
+      const std::size_t numChunks = (n + s.opt.chunkSize - 1) / s.opt.chunkSize;
+      for (std::size_t c = 0; c < numChunks; ++c) clearChunkFlagAndReverify(s, c);
+    }
+    ++roundsDone;
+  }
+  if (roundsDone > 0)
+    s.maxRound.fetch_add(roundsDone, std::memory_order_relaxed);
   s.rankUpdates.fetch_add(updates, std::memory_order_relaxed);
 }
 

@@ -53,4 +53,16 @@ struct LfShared {
 /// for every running thread.
 void lfIterateWorker(const LfShared& shared, int tid);
 
+/// Post-join completion pass, run by the engine's caller thread AFTER the
+/// team has joined (so there are no concurrent writers left). A worker
+/// still in flight when the convergence scan passed may have re-marked a
+/// flag on its way out (stale-store rollback or a reverified clear);
+/// this pass re-iterates until the flags are genuinely clean, up to the
+/// round cap. No-op unless `allConverged` was set: a run that merely hit
+/// the round cap — or whose threads all crashed — must stay unconverged
+/// rather than be silently finished on one thread. Because the pass can
+/// itself be capped, engines must derive their converged result from the
+/// flags, not from `allConverged`.
+void lfFinishSequential(const LfShared& shared);
+
 }  // namespace lfpr::detail

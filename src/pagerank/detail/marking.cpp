@@ -2,14 +2,20 @@
 
 #include <vector>
 
+#include "pagerank/detail/flags.hpp"
+
 namespace lfpr::detail {
 
 namespace {
 
+// Marks go through the shared release-RMW primitive (flags.hpp): a
+// helping rescan can re-mark a vertex while another thread is already
+// iterating (and clearing flags), so marking participates in the same
+// release-sequence protocol as the frontier expansion — see the
+// termination-protocol comment in lf_iterate.cpp.
 void markVertex(const MarkShared& s, VertexId w) {
   s.affected.store(w, 1);
-  s.notConverged.store(w, 1);
-  if (s.chunkFlags != nullptr) s.chunkFlags->store(w / s.chunkSize, 1);
+  markVertexUnconverged(s.notConverged, s.chunkFlags, s.chunkSize, w);
 }
 
 /// Iterative DFS over the current graph marking every reachable vertex.
@@ -28,10 +34,7 @@ void visitDfs(const MarkShared& s, VertexId start, std::vector<VertexId>& stack,
       return true;
     }
     const bool first = s.affected.exchange(w, 1) == 0;
-    if (first) {
-      s.notConverged.store(w, 1);
-      if (s.chunkFlags != nullptr) s.chunkFlags->store(w / s.chunkSize, 1);
-    }
+    if (first) markVertexUnconverged(s.notConverged, s.chunkFlags, s.chunkSize, w);
     return first;
   };
 

@@ -33,26 +33,31 @@ PageRankResult powerIterateLF(const CsrGraph& g, std::vector<double> init,
   std::atomic<int> maxRound{0};
   std::atomic<std::uint64_t> rankUpdates{0};
 
+  const LfShared shared{g,
+                        ranks,
+                        notConverged,
+                        /*affected=*/nullptr,
+                        /*expandFrontier=*/false,
+                        /*chunkFlags=*/nullptr,
+                        rounds,
+                        allConverged,
+                        maxRound,
+                        rankUpdates,
+                        resolved,
+                        fault};
   const Stopwatch timer;
   team.run([&](int tid) {
     if (fault != nullptr && fault->crashed(tid)) return;
-    const LfShared shared{g,
-                          ranks,
-                          notConverged,
-                          /*affected=*/nullptr,
-                          /*expandFrontier=*/false,
-                          /*chunkFlags=*/nullptr,
-                          rounds,
-                          allConverged,
-                          maxRound,
-                          rankUpdates,
-                          resolved,
-                          fault};
     lfIterateWorker(shared, tid);
   });
+  // Absorb flags re-marked by workers that were still in flight when the
+  // convergence scan passed (termination protocol, part 3).
+  lfFinishSequential(shared);
   result.timeMs = timer.elapsedMs();
 
-  result.converged = allConverged.load() || notConverged.allZero();
+  // The flags, not allConverged, are the authority: the finish pass can
+  // itself hit the round cap and leave the run honestly unconverged.
+  result.converged = notConverged.allZero();
   result.iterations = maxRound.load();
   result.rankUpdates = rankUpdates.load();
   result.ranks = ranks.toVector();

@@ -17,4 +17,23 @@ double l1Norm(std::span<const double> a, std::span<const double> b);
 /// conserved, so this should stay ~1.
 double rankSum(std::span<const double> ranks);
 
+/// L-inf distance from the true fixpoint implied by the synchronous
+/// stopping rule "stop when no rank moved more than `tolerance` this
+/// sweep": the remaining updates form a geometric series with ratio
+/// alpha, so ||r - r*||_inf <= tolerance * alpha / (1 - alpha).
+inline double syncToleranceBound(double tolerance, double alpha) noexcept {
+  return tolerance * alpha / (1.0 - alpha);
+}
+
+/// Same for the asynchronous engines, whose per-vertex freeze decides on
+/// deltas observed at different moments: a vertex may stop tolerance
+/// short of its local fixpoint while its in-neighbours each still carry
+/// that much error themselves, so the per-vertex error e satisfies
+/// e <= tolerance + alpha * e, i.e. ||r - r*||_inf <= tolerance /
+/// (1 - alpha). Tests multiply by a small empirical slack for scheduling
+/// jitter (rollback stores may each inject up to one extra tolerance).
+inline double asyncToleranceBound(double tolerance, double alpha) noexcept {
+  return tolerance / (1.0 - alpha);
+}
+
 }  // namespace lfpr

@@ -96,26 +96,30 @@ PageRankResult ompPowerLF(const CsrGraph& g, std::vector<double> init,
   std::atomic<int> maxRound{0};
   std::atomic<std::uint64_t> rankUpdates{0};
 
+  const detail::LfShared shared{g,
+                                ranks,
+                                notConverged,
+                                nullptr,
+                                false,
+                                nullptr,
+                                rounds,
+                                allConverged,
+                                maxRound,
+                                rankUpdates,
+                                resolved,
+                                nullptr};
   const Stopwatch timer;
 #pragma omp parallel num_threads(numThreads)
   {
-    const int tid = omp_get_thread_num();
-    const detail::LfShared shared{g,
-                                  ranks,
-                                  notConverged,
-                                  nullptr,
-                                  false,
-                                  nullptr,
-                                  rounds,
-                                  allConverged,
-                                  maxRound,
-                                  rankUpdates,
-                                  resolved,
-                                  nullptr};
-    detail::lfIterateWorker(shared, tid);
+    detail::lfIterateWorker(shared, omp_get_thread_num());
   }
+  // Absorb flags re-marked by workers that were still in flight when the
+  // convergence scan passed (termination protocol, part 3 in
+  // lf_iterate.cpp). The flags, not allConverged, are the authority: the
+  // finish pass can itself hit the round cap.
+  detail::lfFinishSequential(shared);
   result.timeMs = timer.elapsedMs();
-  result.converged = allConverged.load() || notConverged.allZero();
+  result.converged = notConverged.allZero();
   result.iterations = maxRound.load();
   result.rankUpdates = rankUpdates.load();
   result.ranks = ranks.toVector();
@@ -210,6 +214,18 @@ PageRankResult dfLF(const CsrGraph& prev, const CsrGraph& curr, const BatchUpdat
   std::atomic<int> maxRound{0};
   std::atomic<std::uint64_t> rankUpdates{0};
 
+  const detail::LfShared iterate{curr,
+                                 ranks,
+                                 notConverged,
+                                 &affected,
+                                 true,
+                                 nullptr,
+                                 rounds,
+                                 allConverged,
+                                 maxRound,
+                                 rankUpdates,
+                                 resolved,
+                                 nullptr};
   const Stopwatch timer;
 #pragma omp parallel num_threads(numThreads)
   {
@@ -218,22 +234,15 @@ PageRankResult dfLF(const CsrGraph& prev, const CsrGraph& curr, const BatchUpdat
                                   affected,   notConverged, nullptr, resolved.chunkSize,
                                   markCursor, false,        nullptr};
     detail::markAffectedWorker(mark, tid);
-    const detail::LfShared iterate{curr,
-                                   ranks,
-                                   notConverged,
-                                   &affected,
-                                   true,
-                                   nullptr,
-                                   rounds,
-                                   allConverged,
-                                   maxRound,
-                                   rankUpdates,
-                                   resolved,
-                                   nullptr};
     detail::lfIterateWorker(iterate, tid);
   }
+  // Absorb flags re-marked by workers that were still in flight when the
+  // convergence scan passed (termination protocol, part 3 in
+  // lf_iterate.cpp). The flags, not allConverged, are the authority: the
+  // finish pass can itself hit the round cap.
+  detail::lfFinishSequential(iterate);
   result.timeMs = timer.elapsedMs();
-  result.converged = allConverged.load() || notConverged.allZero();
+  result.converged = notConverged.allZero();
   result.iterations = maxRound.load();
   result.rankUpdates = rankUpdates.load();
   result.affectedVertices = affected.countNonZero();

@@ -85,14 +85,21 @@ INSTANTIATE_TEST_SUITE_P(CrashCounts, CrashSweep, ::testing::Values(1, 2, 4, 7),
                          });
 
 TEST(Faults, CrashDefinitelyTriggersWithTwoHotThreads) {
-  // Two threads on two cores both run hot, so the scheduled crash is
-  // guaranteed to fire — pinning down that the injector works end to end.
+  // Pins down that the injector works end to end: thread 1 must reach its
+  // crash threshold. On a single-core host one thread can drain the whole
+  // solve inside its first timeslice before the other ever runs, so "two
+  // hot threads" cannot be assumed from the hardware — inject frequent
+  // micro-delays instead; every sleep yields the CPU to the other thread,
+  // which then takes chunks until its own delay fires, guaranteeing both
+  // threads interleave well past 25 updates each.
   const auto scenario = makeFaultScenario(30);
   const auto ref = referenceRanks(scenario.curr);
   auto opt = faultOptions();
   opt.numThreads = 2;
   FaultConfig cfg;
   cfg.crashAfterUpdates = {FaultConfig::noCrash, 25};
+  cfg.delayProbability = 0.05;
+  cfg.delayDuration = std::chrono::microseconds(100);
   FaultInjector fault(2, cfg);
   const auto r = dfLF(scenario.prev, scenario.curr, scenario.batch,
                       scenario.prevRanks, opt, &fault);

@@ -167,9 +167,15 @@ TEST_P(FrontierTolSweep, ErrorBoundedAndWorkShrinksWithLargerTolerance) {
   const auto r = dfLF(scenario.prev, scenario.curr, scenario.batch,
                       scenario.prevRanks, opt);
   ASSERT_TRUE(r.converged);
-  // tau_f <= tau keeps the error within the paper's acceptable band; the
-  // largest tolerance in this sweep equals tau itself.
-  EXPECT_LT(linfNorm(r.ranks, ref), 1e-6);
+  // Bound derived from the stopping rules (see error.hpp): the per-vertex
+  // freeze at tau contributes tau / (1 - alpha), and every expansion
+  // skipped at tau_f leaves up to tau_f unpropagated per in-neighbour,
+  // contributing tau_f * alpha / (1 - alpha). 8x slack for scheduling
+  // jitter; the largest tau_f in this sweep equals tau itself.
+  constexpr double kSlack = 8.0;
+  EXPECT_LT(linfNorm(r.ranks, ref),
+            kSlack * (asyncToleranceBound(opt.tolerance, opt.alpha) +
+                      syncToleranceBound(tauF, opt.alpha)));
 }
 
 INSTANTIATE_TEST_SUITE_P(Tolerances, FrontierTolSweep,
@@ -177,8 +183,12 @@ INSTANTIATE_TEST_SUITE_P(Tolerances, FrontierTolSweep,
                          [](const ::testing::TestParamInfo<double>& info) {
                            const double v = info.param;
                            if (v == 0.0) return std::string("zero");
-                           return "e" + std::to_string(-static_cast<int>(
-                                            std::round(std::log10(v))));
+                           // std::string + over const char* trips GCC 12's
+                           // -Wrestrict false positive (PR 105329).
+                           std::string name("e");
+                           name += std::to_string(
+                               -static_cast<int>(std::round(std::log10(v))));
+                           return name;
                          });
 
 TEST(FrontierTolProperty, LargerToleranceNeverMarksMore) {
