@@ -8,6 +8,7 @@
 #include "generate/batch_gen.hpp"
 #include "generate/generators.hpp"
 #include "graph/dynamic_digraph.hpp"
+#include "graph/pull_csr.hpp"
 #include "pagerank/atomics.hpp"
 #include "pagerank/detail/common.hpp"
 #include "sched/barrier.hpp"
@@ -55,6 +56,49 @@ void BM_RankPullKernelAtomic(benchmark::State& state) {
 }
 BENCHMARK(BM_RankPullKernelAtomic);
 
+void BM_RankPullKernelWeighted(benchmark::State& state) {
+  const auto g = makeGraph(12, 32000);
+  const WeightedPullCsr pull(g);
+  const std::vector<double> ranks(g.numVertices(), 1.0 / g.numVertices());
+  const double base = 0.15 / static_cast<double>(g.numVertices());
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+      acc += detail::pullRank(pull, ranks, v, 0.85, base);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.numEdges()));
+}
+BENCHMARK(BM_RankPullKernelWeighted);
+
+void BM_RankPullKernelWeightedAtomic(benchmark::State& state) {
+  const auto g = makeGraph(12, 32000);
+  const WeightedPullCsr pull(g);
+  const AtomicF64Vector ranks(g.numVertices(), 1.0 / g.numVertices());
+  const double base = 0.15 / static_cast<double>(g.numVertices());
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+      acc += detail::pullRank(pull, ranks, v, 0.85, base);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.numEdges()));
+}
+BENCHMARK(BM_RankPullKernelWeightedAtomic);
+
+void BM_WeightedLayoutBuild(benchmark::State& state) {
+  const auto g = makeGraph(12, 32000);
+  for (auto _ : state) {
+    WeightedPullCsr pull(g);
+    benchmark::DoNotOptimize(pull.numEdges());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.numEdges()));
+}
+BENCHMARK(BM_WeightedLayoutBuild);
+
 void BM_ChunkCursorThroughput(benchmark::State& state) {
   const auto threads = static_cast<int>(state.range(0));
   for (auto _ : state) {
@@ -88,6 +132,15 @@ void BM_AtomicFlagScan(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * (1 << 20));
 }
 BENCHMARK(BM_AtomicFlagScan);
+
+void BM_AtomicFlagCount(benchmark::State& state) {
+  AtomicU8Vector flags(1 << 20, 0);
+  // 1/64 density: a converging frontier, not the all-zero fast path.
+  for (std::size_t i = 0; i < flags.size(); i += 64) flags.store(i, 1);
+  for (auto _ : state) benchmark::DoNotOptimize(flags.countNonZero());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * (1 << 20));
+}
+BENCHMARK(BM_AtomicFlagCount);
 
 void BM_CsrConstruction(benchmark::State& state) {
   Rng rng(2);

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json files (scripts/record_baseline.sh output).
+
+Compares the google-benchmark results under "bench_micro_kernels" per
+benchmark name and prints a speedup table (new items/s over old items/s,
+falling back to old cpu_time over new cpu_time for benchmarks without an
+items_per_second counter). Benchmarks present in only one file are listed
+but not compared.
+
+Usage:
+  scripts/compare_bench.py OLD.json NEW.json [--require NAME:RATIO ...]
+
+--require makes the exit status non-zero unless benchmark NAME achieved a
+speedup of at least RATIO — e.g. the PR 2 acceptance gate:
+  scripts/compare_bench.py BENCH_baseline.json BENCH_pr2.json \
+      --require BM_RankPullKernel:1.3 --require BM_RankPullKernelAtomic:1.3
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_micro(path):
+    with open(path) as f:
+        doc = json.load(f)
+    micro = doc.get("bench_micro_kernels", {})
+    if "benchmarks" not in micro:
+        sys.exit(f"{path}: no google-benchmark results under bench_micro_kernels "
+                 f"(recorded without libbenchmark-dev?)")
+    out = {}
+    for b in micro["benchmarks"]:
+        if b.get("run_type", "iteration") != "iteration":
+            continue
+        out[b["name"]] = b
+    return doc, out
+
+
+def speedup(old, new):
+    o_items, n_items = old.get("items_per_second"), new.get("items_per_second")
+    if o_items and n_items:
+        return n_items / o_items, "items/s"
+    o_t, n_t = old.get("cpu_time"), new.get("cpu_time")
+    if o_t and n_t:
+        return o_t / n_t, "cpu_time"
+    return None, None
+
+
+def fmt_rate(b):
+    items = b.get("items_per_second")
+    if items:
+        return f"{items / 1e6:10.1f}M/s"
+    return f"{b.get('cpu_time', float('nan')):10.0f}{b.get('time_unit', 'ns')}"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("old")
+    ap.add_argument("new")
+    ap.add_argument("--require", action="append", default=[], metavar="NAME:RATIO",
+                    help="fail unless NAME speeds up by at least RATIO")
+    args = ap.parse_args()
+
+    old_doc, old = load_micro(args.old)
+    new_doc, new = load_micro(args.new)
+
+    print(f"old: {args.old}  (commit {old_doc.get('commit', '?')}, "
+          f"recorded {old_doc.get('recorded', '?')})")
+    print(f"new: {args.new}  (commit {new_doc.get('commit', '?')}, "
+          f"recorded {new_doc.get('recorded', '?')})")
+    print()
+    name_w = max((len(n) for n in set(old) | set(new)), default=4)
+    print(f"{'benchmark':<{name_w}}  {'old':>12} {'new':>12} {'speedup':>8}  basis")
+    print("-" * (name_w + 45))
+
+    shared = [n for n in old if n in new]
+    for name in shared:
+        ratio, basis = speedup(old[name], new[name])
+        ratio_s = f"{ratio:7.2f}x" if ratio is not None else "      ??"
+        print(f"{name:<{name_w}}  {fmt_rate(old[name]):>12} {fmt_rate(new[name]):>12} "
+              f"{ratio_s}  {basis or '-'}")
+    for name in sorted(set(old) - set(new)):
+        print(f"{name:<{name_w}}  {fmt_rate(old[name]):>12} {'(gone)':>12}")
+    for name in sorted(set(new) - set(old)):
+        print(f"{name:<{name_w}}  {'(new)':>12} {fmt_rate(new[name]):>12}")
+
+    failed = []
+    for req in args.require:
+        try:
+            name, ratio_s = req.rsplit(":", 1)
+            want = float(ratio_s)
+        except ValueError:
+            sys.exit(f"bad --require {req!r}: expected NAME:RATIO")
+        if name not in old or name not in new:
+            failed.append(f"{name}: missing from one of the files")
+            continue
+        got, _ = speedup(old[name], new[name])
+        if got is None or got < want:
+            failed.append(f"{name}: wanted >= {want:.2f}x, got "
+                          f"{'n/a' if got is None else f'{got:.2f}x'}")
+    if failed:
+        print("\nFAILED requirements:", file=sys.stderr)
+        for f in failed:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    if args.require:
+        print(f"\nall {len(args.require)} requirement(s) met")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,15 +1,16 @@
 #!/usr/bin/env bash
-# Record BENCH_baseline.json — the trajectory anchor later perf PRs diff
-# against. Runs the Table-2 dataset bench and the micro-kernel bench from
-# the Release preset and wraps their raw output plus the machine/config
-# fingerprint into one JSON document.
+# Record a BENCH_*.json snapshot — the trajectory anchor perf PRs diff
+# against (scripts/compare_bench.py). Runs the Table-2 dataset bench and
+# the micro-kernel bench from the Release preset and wraps their raw
+# output plus the machine/config fingerprint into one JSON document.
 #
-# Usage: scripts/record_baseline.sh [build-dir]   (default: build/release)
+# Usage: scripts/record_baseline.sh [build-dir] [out.json]
+#   build-dir defaults to build/release; out.json to BENCH_baseline.json
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="${1:-$repo/build/release}"
-out="$repo/BENCH_baseline.json"
+out="${2:-$repo/BENCH_baseline.json}"
 
 scale="${LFPR_BENCH_SCALE:-0}"
 threads="${LFPR_BENCH_THREADS:-4}"

@@ -34,6 +34,14 @@ CsrGraph CsrGraph::fromEdges(VertexId numVertices, std::span<const Edge> edges,
   for (const Edge& e : sorted) g.inSources_[cursor[e.dst]++] = e.src;
   // Sources land in sorted order already because `sorted` is (src, dst)
   // ordered and the counting pass is stable.
+
+  // Contribution cache: the pull kernels read R[u] * invOutDeg_[u] instead
+  // of dividing by outDegree(u) per edge. Dead ends get 0.0 (never read).
+  g.invOutDeg_.resize(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    const EdgeId d = g.outOffsets_[u + 1] - g.outOffsets_[u];
+    g.invOutDeg_[u] = d > 0 ? 1.0 / static_cast<double>(d) : 0.0;
+  }
   return g;
 }
 
@@ -73,6 +81,17 @@ void CsrGraph::validate() const {
     inEdges += in(u).size();
   }
   if (outEdges != inEdges) throw std::logic_error("csr: in/out edge count mismatch");
+  // Contribution cache must agree exactly with the offsets it was derived
+  // from: 1/d is deterministic in IEEE-754, so equality (not tolerance) is
+  // the invariant — including 0.0 (not inf/NaN) on dead ends.
+  if (invOutDeg_.size() != n)
+    throw std::logic_error("csr: invOutDeg size mismatch");
+  for (VertexId u = 0; u < n; ++u) {
+    const VertexId d = outDegree(u);
+    const double expected = d > 0 ? 1.0 / static_cast<double>(d) : 0.0;
+    if (invOutDeg_[u] != expected)
+      throw std::logic_error("csr: invOutDeg inconsistent with out degree");
+  }
   // Cross-check: every out edge must appear in the destination's in-list.
   for (VertexId u = 0; u < n; ++u) {
     for (VertexId v : out(u)) {

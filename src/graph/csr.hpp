@@ -46,6 +46,19 @@ class CsrGraph {
     return static_cast<VertexId>(inOffsets_[v + 1] - inOffsets_[v]);
   }
 
+  /// Precomputed 1 / outDegree(u), or 0.0 for a dead end (outDegree 0).
+  /// The rank-pull kernels multiply by this instead of dividing per edge;
+  /// a dead end never appears in any in-list, so its 0.0 is never read by
+  /// the kernels and merely keeps the array total (validate() checks it).
+  /// A vertex whose only out-edge is a self-loop (the paper's dead-end
+  /// elimination, Section 5.1.3) has outDegree 1 and weight 1.0.
+  [[nodiscard]] double invOutDegree(VertexId u) const noexcept {
+    return invOutDeg_[u];
+  }
+  [[nodiscard]] std::span<const double> invOutDegrees() const noexcept {
+    return invOutDeg_;
+  }
+
   /// True if the edge u -> v exists (binary search over sorted adjacency).
   [[nodiscard]] bool hasEdge(VertexId u, VertexId v) const noexcept;
 
@@ -64,6 +77,7 @@ class CsrGraph {
   std::vector<VertexId> outTargets_;
   std::vector<EdgeId> inOffsets_;
   std::vector<VertexId> inSources_;
+  std::vector<double> invOutDeg_;
 };
 
 }  // namespace lfpr

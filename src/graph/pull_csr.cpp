@@ -1,0 +1,34 @@
+#include "graph/pull_csr.hpp"
+
+#include <stdexcept>
+
+namespace lfpr {
+
+WeightedPullCsr::WeightedPullCsr(const CsrGraph& g) {
+  const std::size_t n = g.numVertices();
+  offsets_.assign(n + 1, 0);
+  arcs_.reserve(g.numEdges());
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId u : g.in(v)) arcs_.push_back({u, g.invOutDegree(u)});
+    offsets_[v + 1] = arcs_.size();
+  }
+}
+
+void WeightedPullCsr::validateAgainst(const CsrGraph& g) const {
+  if (numVertices() != g.numVertices() || numEdges() != g.numEdges())
+    throw std::logic_error("pull-csr: size mismatch with snapshot");
+  for (VertexId v = 0; v < g.numVertices(); ++v) {
+    const auto srcs = g.in(v);
+    const auto arcs = in(v);
+    if (arcs.size() != srcs.size())
+      throw std::logic_error("pull-csr: in-degree mismatch with snapshot");
+    for (std::size_t i = 0; i < arcs.size(); ++i) {
+      if (arcs[i].src != srcs[i])
+        throw std::logic_error("pull-csr: in-adjacency mismatch with snapshot");
+      if (arcs[i].weight != g.invOutDegree(srcs[i]))
+        throw std::logic_error("pull-csr: weight differs from contribution cache");
+    }
+  }
+}
+
+}  // namespace lfpr

@@ -1,0 +1,60 @@
+// Weighted pull-CSR: the in-adjacency of a snapshot with each source's
+// contribution multiplier inlined next to its id.
+//
+// The plain kernel walks in(v) and gathers two values per edge from two
+// different arrays (the source's rank and its cached 1/outdeg). This
+// layout fuses the multiplier into the edge stream, so the kernel reads
+// ONE sequential stream of (src, weight) arcs plus one random rank load —
+// the arXiv:2109.09527 "store scaled contributions next to the edge"
+// optimization. It is a derived, redundant view of a CsrGraph: engines
+// build it on demand when PageRankOptions::pullLayout selects it
+// (snapshots stay the single source of truth and validate() covers the
+// derivation).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/types.hpp"
+
+namespace lfpr {
+
+/// One in-edge of the weighted layout: rank contribution of `src` to the
+/// owning vertex is ranks[src] * weight, weight = 1 / outDegree(src).
+struct PullArc {
+  VertexId src = 0;
+  double weight = 0.0;
+
+  friend bool operator==(const PullArc&, const PullArc&) = default;
+};
+
+class WeightedPullCsr {
+ public:
+  WeightedPullCsr() = default;
+
+  /// Materialize the layout from a snapshot. O(n + m).
+  explicit WeightedPullCsr(const CsrGraph& g);
+
+  [[nodiscard]] VertexId numVertices() const noexcept {
+    return static_cast<VertexId>(offsets_.empty() ? 0 : offsets_.size() - 1);
+  }
+  [[nodiscard]] EdgeId numEdges() const noexcept {
+    return offsets_.empty() ? 0 : offsets_.back();
+  }
+
+  [[nodiscard]] std::span<const PullArc> in(VertexId v) const noexcept {
+    return {arcs_.data() + offsets_[v], arcs_.data() + offsets_[v + 1]};
+  }
+
+  /// Check this layout against the snapshot it should mirror: same
+  /// in-adjacency in the same order, weights equal to the snapshot's
+  /// contribution cache. Throws std::logic_error on violation.
+  void validateAgainst(const CsrGraph& g) const;
+
+ private:
+  std::vector<EdgeId> offsets_;
+  std::vector<PullArc> arcs_;
+};
+
+}  // namespace lfpr

@@ -10,6 +10,12 @@
 // publishes the marking writes that precede it) and the RC/chunk
 // converged flags, whose release-marking / acquire-clearing protocol is
 // documented at fetchOr() below and in lf_iterate.cpp.
+//
+// The convergence scans (allZero / allZeroFrom / countNonZero) are pure
+// relaxed reads with no ordering role in that protocol, so they read
+// eight flags per 64-bit load (PR 2 RMW diet, item c in lf_iterate.cpp);
+// every flag *mutation* remains an individually-addressed byte-sized
+// atomic, so the marking/clearing memory-order story is unchanged.
 #pragma once
 
 #include <atomic>
@@ -97,11 +103,12 @@ class AtomicU8Vector {
   }
 
   /// True iff every element is zero (the LF engines' convergence test:
-  /// "RC[v] = 0 for all v").
+  /// "RC[v] = 0 for all v"). Scans eight flags per 64-bit load — the
+  /// scans were always relaxed reads with no ordering role (the clears
+  /// and marks carry the protocol), so the wide load changes bandwidth,
+  /// not semantics; see the RMW-diet note in lf_iterate.cpp.
   [[nodiscard]] bool allZero() const noexcept {
-    for (const auto& a : v_)
-      if (a.load(std::memory_order_relaxed) != 0) return false;
-    return true;
+    return findNonZero(0, v_.size()) == v_.size();
   }
 
   /// allZero() with a resume hint: starts scanning at `hint` (where the
@@ -111,31 +118,75 @@ class AtomicU8Vector {
     const std::size_t n = v_.size();
     if (n == 0) return true;
     if (hint >= n) hint = 0;
-    for (std::size_t i = hint; i < n; ++i) {
-      if (v_[i].load(std::memory_order_relaxed) != 0) {
-        hint = i;
-        return false;
-      }
+    std::size_t i = findNonZero(hint, n);
+    if (i == n) {
+      i = findNonZero(0, hint);
+      if (i == hint) return true;
     }
-    for (std::size_t i = 0; i < hint; ++i) {
-      if (v_[i].load(std::memory_order_relaxed) != 0) {
-        hint = i;
-        return false;
-      }
-    }
-    return true;
+    hint = i;
+    return false;
   }
 
   [[nodiscard]] std::uint64_t countNonZero() const noexcept {
-    std::uint64_t n = 0;
-    for (const auto& a : v_)
-      if (a.load(std::memory_order_relaxed) != 0) ++n;
-    return n;
+    const std::size_t n = v_.size();
+    std::uint64_t count = 0;
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+      if (wordAt(i) == 0) continue;
+      for (std::size_t k = i; k < i + 8; ++k)
+        count += v_[k].load(std::memory_order_relaxed) != 0 ? 1 : 0;
+    }
+    for (; i < n; ++i)
+      count += v_[i].load(std::memory_order_relaxed) != 0 ? 1 : 0;
+    return count;
   }
 
   [[nodiscard]] std::size_t size() const noexcept { return v_.size(); }
 
  private:
+  static_assert(sizeof(std::atomic<std::uint8_t>) == 1 &&
+                    alignof(std::atomic<std::uint8_t>) == 1,
+                "word-at-a-time scan assumes byte-sized atomics");
+
+  /// Eight flags in one relaxed 64-bit load. `i` must be a multiple of 8;
+  /// the vector's allocation is at least 8-byte aligned (operator new),
+  /// so index alignment implies memory alignment. The cast reads the
+  /// object representation of eight adjacent atomic bytes — accepted by
+  /// every supported compiler for lock-free byte atomics, and an atomic
+  /// access, so sanitizers see no data race; a portable per-byte loop
+  /// backs other toolchains.
+  [[nodiscard]] std::uint64_t wordAt(std::size_t i) const noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+    return __atomic_load_n(reinterpret_cast<const std::uint64_t*>(v_.data() + i),
+                           __ATOMIC_RELAXED);
+#else
+    std::uint64_t w = 0;
+    for (std::size_t k = 0; k < 8; ++k)
+      w |= static_cast<std::uint64_t>(v_[i + k].load(std::memory_order_relaxed))
+           << (8 * k);
+    return w;
+#endif
+  }
+
+  /// Index of the first non-zero flag in [b, e), or e if none. Byte steps
+  /// to the first word boundary, then words. A word that reads non-zero
+  /// is re-checked byte-wise; if a concurrent clear emptied it in
+  /// between, the scan just continues (same monotone-read semantics as
+  /// the byte loop it replaces).
+  [[nodiscard]] std::size_t findNonZero(std::size_t b, std::size_t e) const noexcept {
+    std::size_t i = b;
+    for (; i < e && (i & 7) != 0; ++i)
+      if (v_[i].load(std::memory_order_relaxed) != 0) return i;
+    for (; i + 8 <= e; i += 8) {
+      if (wordAt(i) == 0) continue;
+      for (std::size_t k = i; k < i + 8; ++k)
+        if (v_[k].load(std::memory_order_relaxed) != 0) return k;
+    }
+    for (; i < e; ++i)
+      if (v_[i].load(std::memory_order_relaxed) != 0) return i;
+    return e;
+  }
+
   std::vector<std::atomic<std::uint8_t>> v_;
 };
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "pagerank/atomics.hpp"
+#include "pagerank/detail/common.hpp"
 #include "pagerank/detail/lf_iterate.hpp"
 #include "pagerank/detail/marking.hpp"
 #include "pagerank/detail/power_bb.hpp"
@@ -104,6 +105,8 @@ PageRankResult dynamicLF(const CsrGraph& prev, const CsrGraph& curr,
   resolved.numThreads = team.size();
 
   const std::vector<Edge> edges = concatBatch(batch);
+  const auto pullCsr = buildPullLayout(resolved, curr);
+  const WeightedPullCsr* pull = pullCsr ? &*pullCsr : nullptr;
   AtomicF64Vector ranks{prevRanks};
   AtomicU8Vector affected(n, 0);
   AtomicU8Vector notConverged(n, 0);
@@ -121,6 +124,7 @@ PageRankResult dynamicLF(const CsrGraph& prev, const CsrGraph& curr,
   std::atomic<std::uint64_t> rankUpdates{0};
 
   const LfShared iterate{curr,
+                         pull,
                          ranks,
                          notConverged,
                          &affected,

@@ -49,6 +49,26 @@ namespace lfpr::detail {
 // `anyUnconverged`): if the flag was cleared on a stale read in an
 // earlier round, the late mover would otherwise stay invisible to the
 // convergence scan forever.
+//
+// RMW diet (PR 2). Three accesses were relaxed; none is load-bearing for
+// the protocol above, whose four invariants — marks are release RMWs,
+// clears are acquire RMWs followed by reverify, deltas are measured
+// against the value the exchange actually overwrote, and the post-join
+// finish pass absorbs in-flight re-marks — all still hold:
+//
+//  a. expandFrontier stores `affected` only when it reads 0. The affected
+//     bitmap is monotone within a run and tested only against zero; the
+//     rank publish is carried by the unconditional notConverged /
+//     chunkFlags release marks, never by the affected store.
+//  b. The clear-then-reverify re-pull is skipped when the acquire
+//     exchange returns 0 (a concurrent clearer already erased the mark
+//     and owns the reverify for it). Only a clear that destroys a mark
+//     needs a re-pull.
+//  c. Convergence scans (AtomicU8Vector::allZeroFrom / countNonZero) read
+//     eight flags per 64-bit relaxed load. The scans were always relaxed
+//     reads with no ordering role — the authoritative detection remains
+//     the flags themselves plus the post-join finish pass — so widening
+//     the load changes bandwidth, not semantics.
 
 namespace {
 
@@ -66,22 +86,26 @@ void markUnconverged(const LfShared& s, VertexId w) {
 /// Dynamic Frontier expansion: v's rank moved by more than tau_f, so its
 /// out-neighbours become affected and unconverged. The caller has already
 /// published v's new rank, so the release marks carry it (part 1 above).
+///
 void expandFrontier(const LfShared& s, VertexId v) {
   for (VertexId w : s.graph.out(v)) {
-    s.affected->store(w, 1);
+    markAffected(*s.affected, w);
     markUnconverged(s, w);
   }
+}
+
+double pull(const LfShared& s, VertexId v, double alpha, double base) {
+  return pullRankDispatch(s.pull, s.graph, s.ranks, v, alpha, base);
 }
 
 /// Pull-update vertex v once and maintain its convergence flags per the
 /// protocol above.
 void updateVertex(const LfShared& s, VertexId v, double alpha, double base,
                   std::uint64_t& updates, bool& anyUnconverged) {
-  const CsrGraph& g = s.graph;
   const double tau = s.opt.tolerance;
   const double tauF = s.opt.frontierTolerance;
 
-  const double r = pullRank(g, s.ranks, v, alpha, base);
+  const double r = pull(s, v, alpha, base);
   const double dr = std::fabs(r - s.ranks.exchange(v, r));
   ++updates;
 
@@ -91,18 +115,24 @@ void updateVertex(const LfShared& s, VertexId v, double alpha, double base,
     anyUnconverged = true;
     markUnconverged(s, v);
   } else if (s.notConverged.load(v) == 1) {
-    // Clear-then-reverify (part 1). The acquire exchange makes every rank
-    // write published by a mark it overwrites visible to the re-pull; if
-    // the rank still moves, the clear was premature and the mark is
-    // restored.
-    s.notConverged.exchange(v, 0, std::memory_order_acquire);
-    const double r2 = pullRank(g, s.ranks, v, alpha, base);
-    const double dr2 = std::fabs(r2 - s.ranks.exchange(v, r2));
-    ++updates;
-    if (s.expandFrontier && dr2 > tauF) expandFrontier(s, v);
-    if (dr2 > tau) {
-      anyUnconverged = true;
-      markUnconverged(s, v);
+    // Clear-then-reverify (part 1), entered only when this pull's delta is
+    // already within tau. The acquire exchange makes every rank write
+    // published by a mark it overwrites visible to the re-pull; if the
+    // rank still moves, the clear was premature and the mark is restored.
+    // The re-pull runs only when the exchange actually erased a mark
+    // (returned 1): a 0 -> 0 exchange means a concurrent clearer got there
+    // between our load and our RMW — reverify duty travelled with ITS
+    // clear, and any mark after that clear would have made our exchange
+    // return 1.
+    if (s.notConverged.exchange(v, 0, std::memory_order_acquire) != 0) {
+      const double r2 = pull(s, v, alpha, base);
+      const double dr2 = std::fabs(r2 - s.ranks.exchange(v, r2));
+      ++updates;
+      if (s.expandFrontier && dr2 > tauF) expandFrontier(s, v);
+      if (dr2 > tau) {
+        anyUnconverged = true;
+        markUnconverged(s, v);
+      }
     }
   }
 }

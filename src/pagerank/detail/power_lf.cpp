@@ -3,6 +3,7 @@
 #include <atomic>
 
 #include "pagerank/atomics.hpp"
+#include "pagerank/detail/common.hpp"
 #include "pagerank/detail/lf_iterate.hpp"
 #include "sched/chunk_cursor.hpp"
 #include "sched/thread_team.hpp"
@@ -23,6 +24,9 @@ PageRankResult powerIterateLF(const CsrGraph& g, std::vector<double> init,
   PageRankOptions resolved = opt;
   resolved.numThreads = team.size();
 
+  const auto pullCsr = buildPullLayout(resolved, g);
+  const WeightedPullCsr* pull = pullCsr ? &*pullCsr : nullptr;
+
   AtomicF64Vector ranks{std::span<const double>(init)};
   // Paper Algorithm 4 note: RC semantics are 1 = "rank has not yet
   // converged"; every vertex starts unconverged for Static/ND.
@@ -34,6 +38,7 @@ PageRankResult powerIterateLF(const CsrGraph& g, std::vector<double> init,
   std::atomic<std::uint64_t> rankUpdates{0};
 
   const LfShared shared{g,
+                        pull,
                         ranks,
                         notConverged,
                         /*affected=*/nullptr,

@@ -36,6 +36,8 @@ PageRankResult ompPowerBB(const CsrGraph& g, std::vector<double> init,
     return result;
   }
   const int numThreads = threadsFor(opt);
+  const auto pullCsr = detail::buildPullLayout(opt, g);
+  const WeightedPullCsr* pull = pullCsr ? &*pullCsr : nullptr;
   std::vector<double> ranks = std::move(init);
   std::vector<double> ranksNew = ranks;
   const double alpha = opt.alpha;
@@ -52,13 +54,13 @@ PageRankResult ompPowerBB(const CsrGraph& g, std::vector<double> init,
     for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
       const auto v = static_cast<VertexId>(i);
       if (affected != nullptr && affected->load(v) == 0) continue;
-      const double r = detail::pullRank(g, ranks, v, alpha, base);
+      const double r = detail::pullRankDispatch(pull, g, ranks, v, alpha, base);
       const double dr = std::fabs(r - ranks[v]);
       ranksNew[v] = r;
       delta = std::max(delta, dr);
       ++iterUpdates;
       if (expandFrontier && dr > opt.frontierTolerance)
-        for (VertexId w : g.out(v)) affected->store(w, 1);
+        for (VertexId w : g.out(v)) detail::markAffected(*affected, w);
     }
     updates += iterUpdates;
     ranks.swap(ranksNew);
@@ -88,6 +90,9 @@ PageRankResult ompPowerLF(const CsrGraph& g, std::vector<double> init,
   PageRankOptions resolved = opt;
   resolved.numThreads = numThreads;
 
+  const auto pullCsr = detail::buildPullLayout(resolved, g);
+  const WeightedPullCsr* pull = pullCsr ? &*pullCsr : nullptr;
+
   AtomicF64Vector ranks{std::span<const double>(init)};
   AtomicU8Vector notConverged(n, 1);
   RoundCursorSet rounds(n, resolved.chunkSize,
@@ -97,6 +102,7 @@ PageRankResult ompPowerLF(const CsrGraph& g, std::vector<double> init,
   std::atomic<std::uint64_t> rankUpdates{0};
 
   const detail::LfShared shared{g,
+                                pull,
                                 ranks,
                                 notConverged,
                                 nullptr,
@@ -176,8 +182,8 @@ PageRankResult dfBB(const CsrGraph& prev, const CsrGraph& curr, const BatchUpdat
   for (std::int64_t i = 0; i < static_cast<std::int64_t>(edges.size()); ++i) {
     const VertexId u = edges[static_cast<std::size_t>(i)].src;
     if (u < prev.numVertices())
-      for (VertexId w : prev.out(u)) affected.store(w, 1);
-    for (VertexId w : curr.out(u)) affected.store(w, 1);
+      for (VertexId w : prev.out(u)) detail::markAffected(affected, w);
+    for (VertexId w : curr.out(u)) detail::markAffected(affected, w);
   }
   const double markMs = markTimer.elapsedMs();
 
@@ -203,6 +209,8 @@ PageRankResult dfLF(const CsrGraph& prev, const CsrGraph& curr, const BatchUpdat
   resolved.numThreads = numThreads;
 
   const std::vector<Edge> edges = concatBatch(batch);
+  const auto pullCsr = detail::buildPullLayout(resolved, curr);
+  const WeightedPullCsr* pull = pullCsr ? &*pullCsr : nullptr;
   AtomicF64Vector ranks{prevRanks};
   AtomicU8Vector affected(n, 0);
   AtomicU8Vector notConverged(n, 0);
@@ -215,6 +223,7 @@ PageRankResult dfLF(const CsrGraph& prev, const CsrGraph& curr, const BatchUpdat
   std::atomic<std::uint64_t> rankUpdates{0};
 
   const detail::LfShared iterate{curr,
+                                 pull,
                                  ranks,
                                  notConverged,
                                  &affected,

