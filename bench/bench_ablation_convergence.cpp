@@ -20,7 +20,7 @@ int main() {
   Table table({"dataset", "flags", "runtime_ms", "iterations", "err_vs_ref"});
   for (std::size_t di = 0; di < specs.size(); ++di) {
     const auto& spec = specs[di];
-    auto base = spec.build(/*seed=*/1);
+    auto base = bench::loadGraph(spec, cfg);
     const auto opt = bench::benchOptions(cfg, base.numVertices());
     const auto scenario = makeScenario(std::move(base), 1e-3, 800 + di, opt);
     const auto ref = referenceRanks(scenario.curr, opt.alpha);

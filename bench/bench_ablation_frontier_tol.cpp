@@ -24,7 +24,7 @@ int main() {
                "err_vs_ref", "err_over_tau"});
   for (std::size_t di = 0; di < specs.size(); ++di) {
     const auto& spec = specs[di];
-    auto base = spec.build(/*seed=*/1);
+    auto base = bench::loadGraph(spec, cfg);
     const auto opt = bench::benchOptions(cfg, base.numVertices());
     const auto scenario = makeScenario(std::move(base), 1e-4, 700 + di, opt);
     const auto ref = referenceRanks(scenario.curr, opt.alpha);

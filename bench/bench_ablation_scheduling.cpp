@@ -21,7 +21,7 @@ int main() {
   const auto specs = representativeDatasets(cfg.scale);
   Table table({"dataset", "schedule", "runtime_ms", "iterations", "err_vs_ref"});
   for (const auto& spec : specs) {
-    const auto g = spec.build(/*seed=*/1).toCsr();
+    const auto g = bench::loadCsr(spec, cfg);
     const auto opt = bench::benchOptions(cfg, g.numVertices());
     const auto ref = referenceRanks(g, opt.alpha);
     for (bool staticSched : {false, true}) {

@@ -33,7 +33,23 @@ inline void printHeader(const std::string& title, const std::string& paperShape,
   std::cout << "config: scale=" << cfg.scale << " threads=" << cfg.threads
             << " repeats=" << cfg.repeats
             << "  (LFPR_BENCH_SCALE / LFPR_BENCH_THREADS / LFPR_BENCH_REPEATS)\n";
+  const std::string cache = datasetCacheDir();
+  std::cout << "dataset_dir: " << (cache.empty() ? "(unset: regenerate per run)" : cache)
+            << "  (LFPR_DATASET_DIR)\n";
   std::cout << "paper_shape: " << paperShape << "\n\n";
+}
+
+/// Snapshot for a dataset bench: mmap-loaded from LFPR_DATASET_DIR when
+/// cached, generated (and persisted) otherwise.
+inline CsrGraph loadCsr(const DatasetSpec& spec, const BenchConfig& cfg,
+                        std::uint64_t seed = 1, bool* generated = nullptr) {
+  return loadDatasetCsr(spec, cfg.scale, seed, generated);
+}
+
+/// Mutable graph for the batch benches, via the same cache.
+inline DynamicDigraph loadGraph(const DatasetSpec& spec, const BenchConfig& cfg,
+                                std::uint64_t seed = 1) {
+  return loadDatasetGraph(spec, cfg.scale, seed);
 }
 
 /// Engine options for a graph of n vertices under the bench protocol

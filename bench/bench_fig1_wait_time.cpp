@@ -24,7 +24,7 @@ int main() {
                "iterations"});
   for (const auto& spec : staticDatasets(cfg.scale)) {
     if (std::find(wanted.begin(), wanted.end(), spec.name) == wanted.end()) continue;
-    const auto g = spec.build(/*seed=*/1).toCsr();
+    const auto g = bench::loadCsr(spec, cfg);
     for (std::size_t chunk : {std::size_t{4}, std::size_t{64}, std::size_t{1024},
                               std::size_t{16384}}) {
       auto opt = bench::benchOptions(cfg, g.numVertices());

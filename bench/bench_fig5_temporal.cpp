@@ -3,6 +3,11 @@
 // protocol (load 90%, apply the remaining stream as insertion-only
 // batches of 1e-4 |E_T| and 1e-3 |E_T|). Each approach carries its own
 // rank vector across batches, as a deployed service would.
+//
+// The stream is replayed out-of-core (TemporalReplayStream over the
+// persisted edge log): each approach opens its own cursor and only one
+// batch is resident at a time, so the replay works unchanged on logs far
+// larger than RAM.
 #include "bench_common.hpp"
 
 #include "generate/temporal_replay.hpp"
@@ -30,27 +35,29 @@ int main() {
   Table table({"dataset", "batch_frac", "approach", "mean_ms_per_batch",
                "dflf_speedup", "iters_mean"});
   for (const auto& spec : temporalDatasets(cfg.scale)) {
-    const auto data = spec.build(/*seed=*/1);
+    const auto logPath = temporalLogPath(spec, cfg.scale, /*seed=*/1);
     for (double fraction : {1e-4, 1e-3}) {
-      const auto replay = makeTemporalReplay(data, 0.9, fraction, maxBatches);
-      if (replay.batches.empty()) continue;
-      const auto opt = bench::benchOptions(cfg, replay.initial.numVertices());
+      const TemporalReplayStream replay(logPath, 0.9, fraction, maxBatches);
+      if (replay.numBatches() == 0) continue;
+      const auto opt = bench::benchOptions(cfg, replay.initial().numVertices());
 
       // High-precision initial ranks (see DynamicScenario docs: warm ranks
       // must be converged below tau_f or the frontier floods on noise).
       PageRankOptions initOpt = opt;
       initOpt.tolerance = std::max(1e-16, opt.frontierTolerance / 100.0);
-      const auto initialCsr = replay.initial.toCsr();
+      const auto initialCsr = replay.initial().toCsr();
       const auto initRanks = staticBB(initialCsr, initOpt).ranks;
 
       std::vector<double> meanMs(std::size(kApproaches), 0.0);
       std::vector<double> meanIters(std::size(kApproaches), 0.0);
       for (std::size_t ai = 0; ai < std::size(kApproaches); ++ai) {
-        auto graph = replay.initial;  // fresh copy per approach
+        auto graph = replay.initial();  // fresh copy per approach
         auto prevCsr = initialCsr;
         auto ranks = initRanks;
         double totalMs = 0.0, totalIters = 0.0;
-        for (const auto& batch : replay.batches) {
+        auto cursor = replay.batches();  // re-streams the log per approach
+        BatchUpdate batch;
+        while (cursor.next(batch)) {
           graph.applyBatch(batch);
           const auto currCsr = graph.toCsr();
           const auto r =
@@ -60,8 +67,8 @@ int main() {
           ranks = r.ranks;
           prevCsr = currCsr;
         }
-        meanMs[ai] = totalMs / static_cast<double>(replay.batches.size());
-        meanIters[ai] = totalIters / static_cast<double>(replay.batches.size());
+        meanMs[ai] = totalMs / static_cast<double>(replay.numBatches());
+        meanIters[ai] = totalIters / static_cast<double>(replay.numBatches());
       }
 
       const double dflfMs = meanMs.back();

@@ -36,7 +36,7 @@ int main() {
   // Build scenarios once per dataset.
   std::vector<DynamicScenario> scenarios;
   for (std::size_t i = 0; i < specs.size(); ++i) {
-    auto base = specs[i].build(/*seed=*/1);
+    auto base = bench::loadGraph(specs[i], cfg);
     const auto scaled = bench::benchOptions(cfg, base.numVertices());
     scenarios.push_back(makeScenario(std::move(base), 1e-3, 100 + i, scaled));
   }

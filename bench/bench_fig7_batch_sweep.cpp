@@ -48,7 +48,7 @@ int main() {
 
   for (std::size_t di = 0; di < specs.size(); ++di) {
     const auto& spec = specs[di];
-    auto base = spec.build(/*seed=*/1);
+    auto base = bench::loadGraph(spec, cfg);
     const auto opt = bench::benchOptions(cfg, base.numVertices());
 
     Table table({"batch_frac", "StaticBB", "NDBB", "DFBB", "StaticLF", "NDLF",

@@ -39,7 +39,7 @@ int main() {
   std::vector<DynamicScenario> scenarios;
   std::vector<double> bbCleanUpdates, lfCleanUpdates, bbBase, lfBase;
   for (std::size_t i = 0; i < specs.size(); ++i) {
-    auto base = specs[i].build(/*seed=*/1);
+    auto base = bench::loadGraph(specs[i], cfg);
     const auto opt = bench::benchOptions(cfg, base.numVertices());
     scenarios.push_back(makeScenario(std::move(base), 1e-4, 300 + i, opt));
     const auto& s = scenarios.back();

@@ -20,7 +20,7 @@ int main() {
   const auto specs = representativeDatasets(cfg.scale);
   std::vector<DynamicScenario> scenarios;
   for (std::size_t i = 0; i < specs.size(); ++i) {
-    auto base = specs[i].build(/*seed=*/1);
+    auto base = bench::loadGraph(specs[i], cfg);
     const auto opt = bench::benchOptions(cfg, base.numVertices());
     scenarios.push_back(makeScenario(std::move(base), 1e-4, 400 + i, opt));
   }

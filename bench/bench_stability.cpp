@@ -26,7 +26,7 @@ int main() {
   for (std::size_t di = 0; di < specs.size(); ++di) {
     const auto& spec = specs[di];
     for (double fraction : {1e-5, 1e-3, 1e-1}) {
-      auto graph = spec.build(/*seed=*/1);
+      auto graph = bench::loadGraph(spec, cfg);
       const auto opt = bench::benchOptions(cfg, graph.numVertices());
 
       PageRankOptions hp = opt;  // high-precision original/warm ranks

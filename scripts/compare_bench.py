@@ -1,33 +1,51 @@
 #!/usr/bin/env python3
-"""Diff two BENCH_*.json files (scripts/record_baseline.sh output).
+"""Diff two benchmark JSON files.
 
-Compares the google-benchmark results under "bench_micro_kernels" per
-benchmark name and prints a speedup table (new items/s over old items/s,
-falling back to old cpu_time over new cpu_time for benchmarks without an
-items_per_second counter). Benchmarks present in only one file are listed
-but not compared.
+Accepts either wrapped BENCH_*.json documents (scripts/record_baseline.sh
+output, google-benchmark results under a section key, default
+"bench_micro_kernels") or raw google-benchmark --benchmark_out files
+(top-level "benchmarks" array) — CI and local runs share this one code
+path. Compares per benchmark name and prints a speedup table (new
+items/s over old items/s, falling back to old cpu_time over new cpu_time
+for benchmarks without an items_per_second counter). Benchmarks present
+in only one file are listed but not compared.
 
 Usage:
-  scripts/compare_bench.py OLD.json NEW.json [--require NAME:RATIO ...]
+  scripts/compare_bench.py OLD.json NEW.json [options]
 
---require makes the exit status non-zero unless benchmark NAME achieved a
-speedup of at least RATIO — e.g. the PR 2 acceptance gate:
-  scripts/compare_bench.py BENCH_baseline.json BENCH_pr2.json \
-      --require BM_RankPullKernel:1.3 --require BM_RankPullKernelAtomic:1.3
+Options:
+  --section NAME      wrapped-document key to read (default
+                      bench_micro_kernels; e.g. bench_micro_kernels_scale2
+                      for the scale-2 mapped-kernel section)
+  --require NAME:RATIO
+                      fail unless benchmark NAME achieved a speedup of at
+                      least RATIO — e.g. the PR 2 acceptance gate:
+                        --require BM_RankPullKernel:1.3
+  --max-regression R  fail if any compared benchmark (restricted by
+                      --filter) regressed below (1 - R) x the old rate;
+                      R=0.65 tolerates a 65% loss — a generous hard gate
+                      that still catches complexity-class regressions on
+                      noisy shared CI runners
+  --filter REGEX      restrict the --max-regression gate to matching
+                      benchmark names (the table always shows everything)
 """
 
 import argparse
 import json
+import re
 import sys
 
 
-def load_micro(path):
+def load_results(path, section):
     with open(path) as f:
         doc = json.load(f)
-    micro = doc.get("bench_micro_kernels", {})
-    if "benchmarks" not in micro:
-        sys.exit(f"{path}: no google-benchmark results under bench_micro_kernels "
-                 f"(recorded without libbenchmark-dev?)")
+    if "benchmarks" in doc:  # raw --benchmark_out file
+        micro = doc
+    else:  # wrapped BENCH_*.json document
+        micro = doc.get(section, {})
+        if "benchmarks" not in micro:
+            sys.exit(f"{path}: no google-benchmark results at top level or under "
+                     f"{section!r} (recorded without libbenchmark-dev?)")
     out = {}
     for b in micro["benchmarks"]:
         if b.get("run_type", "iteration") != "iteration":
@@ -58,12 +76,18 @@ def main():
                                  formatter_class=argparse.RawDescriptionHelpFormatter)
     ap.add_argument("old")
     ap.add_argument("new")
+    ap.add_argument("--section", default="bench_micro_kernels",
+                    help="wrapped-document key (default: %(default)s)")
     ap.add_argument("--require", action="append", default=[], metavar="NAME:RATIO",
                     help="fail unless NAME speeds up by at least RATIO")
+    ap.add_argument("--max-regression", type=float, default=None, metavar="R",
+                    help="fail if any gated benchmark falls below (1-R)x old")
+    ap.add_argument("--filter", default=None, metavar="REGEX",
+                    help="restrict --max-regression to matching names")
     args = ap.parse_args()
 
-    old_doc, old = load_micro(args.old)
-    new_doc, new = load_micro(args.new)
+    old_doc, old = load_results(args.old, args.section)
+    new_doc, new = load_results(args.new, args.section)
 
     print(f"old: {args.old}  (commit {old_doc.get('commit', '?')}, "
           f"recorded {old_doc.get('recorded', '?')})")
@@ -75,8 +99,11 @@ def main():
     print("-" * (name_w + 45))
 
     shared = [n for n in old if n in new]
+    ratios = {}
     for name in shared:
         ratio, basis = speedup(old[name], new[name])
+        if ratio is not None:
+            ratios[name] = ratio
         ratio_s = f"{ratio:7.2f}x" if ratio is not None else "      ??"
         print(f"{name:<{name_w}}  {fmt_rate(old[name]):>12} {fmt_rate(new[name]):>12} "
               f"{ratio_s}  {basis or '-'}")
@@ -95,17 +122,33 @@ def main():
         if name not in old or name not in new:
             failed.append(f"{name}: missing from one of the files")
             continue
-        got, _ = speedup(old[name], new[name])
+        got = ratios.get(name)
         if got is None or got < want:
             failed.append(f"{name}: wanted >= {want:.2f}x, got "
                           f"{'n/a' if got is None else f'{got:.2f}x'}")
+
+    if args.max_regression is not None:
+        floor = 1.0 - args.max_regression
+        pattern = re.compile(args.filter) if args.filter else None
+        gated = [n for n in shared if pattern is None or pattern.search(n)]
+        if not gated:
+            failed.append(f"--max-regression: no benchmark matches "
+                          f"--filter {args.filter!r}")
+        for name in gated:
+            got = ratios.get(name)
+            if got is not None and got < floor:
+                failed.append(f"{name}: regressed to {got:.2f}x "
+                              f"(floor {floor:.2f}x from --max-regression "
+                              f"{args.max_regression})")
+
     if failed:
         print("\nFAILED requirements:", file=sys.stderr)
         for f in failed:
             print(f"  {f}", file=sys.stderr)
         return 1
-    if args.require:
-        print(f"\nall {len(args.require)} requirement(s) met")
+    if args.require or args.max_regression is not None:
+        checks = len(args.require) + (1 if args.max_regression is not None else 0)
+        print(f"\nall {checks} requirement(s) met")
     return 0
 
 

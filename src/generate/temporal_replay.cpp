@@ -55,4 +55,87 @@ TemporalReplay makeTemporalReplay(const TemporalEdgeListData& data,
   return replay;
 }
 
+namespace {
+
+/// Streaming chunk size: 64K records = 1 MiB resident regardless of log
+/// size.
+constexpr std::size_t kReplayChunk = std::size_t{1} << 16;
+
+}  // namespace
+
+TemporalReplayStream::TemporalReplayStream(std::string logPath,
+                                           double initialFraction,
+                                           double batchFraction,
+                                           std::size_t maxBatches)
+    : logPath_(std::move(logPath)) {
+  if (initialFraction < 0.0 || initialFraction > 1.0)
+    throw std::invalid_argument("TemporalReplayStream: bad initialFraction");
+  if (batchFraction <= 0.0)
+    throw std::invalid_argument("TemporalReplayStream: bad batchFraction");
+
+  TemporalEdgeLogReader reader(logPath_);
+  numTemporalEdges_ = reader.numEdges();
+  numStaticEdges_ = reader.numStaticEdges();
+  initialCount_ = static_cast<EdgeId>(
+      std::llround(initialFraction * static_cast<double>(numTemporalEdges_)));
+  batchSize_ = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::llround(batchFraction * static_cast<double>(numTemporalEdges_))));
+
+  const EdgeId remaining = numTemporalEdges_ - initialCount_;
+  const std::size_t full = static_cast<std::size_t>(remaining / batchSize_);
+  const std::size_t withTail = full + (remaining % batchSize_ != 0 ? 1 : 0);
+  numBatches_ = maxBatches != 0 ? std::min(maxBatches, withTail) : withTail;
+
+  // The log is stored time-sorted, so the prefix IS the initial graph.
+  initial_ = DynamicDigraph(reader.numVertices());
+  std::vector<TemporalEdge> chunk(kReplayChunk);
+  EdgeId seen = 0;
+  while (seen < initialCount_) {
+    const std::size_t want = static_cast<std::size_t>(
+        std::min<EdgeId>(initialCount_ - seen, chunk.size()));
+    const std::size_t got = reader.read(std::span(chunk.data(), want));
+    if (got == 0) break;  // reader already validated the count; defensive
+    for (std::size_t i = 0; i < got; ++i)
+      initial_.addEdge(chunk[i].src, chunk[i].dst);  // dedups internally
+    seen += got;
+  }
+  initial_.ensureSelfLoops();
+}
+
+TemporalReplayStream::BatchCursor::BatchCursor(const std::string& path,
+                                               EdgeId start, std::size_t batchSize,
+                                               std::size_t numBatches)
+    : reader_(path),
+      batchSize_(batchSize),
+      remainingBatches_(numBatches),
+      chunk_(std::min(batchSize, kReplayChunk)) {
+  reader_.seek(start);
+}
+
+bool TemporalReplayStream::BatchCursor::next(BatchUpdate& out) {
+  out.deletions.clear();
+  out.insertions.clear();
+  if (remainingBatches_ == 0) return false;
+  out.insertions.reserve(batchSize_);
+  while (out.insertions.size() < batchSize_) {
+    const std::size_t want =
+        std::min(batchSize_ - out.insertions.size(), chunk_.size());
+    const std::size_t got = reader_.read(std::span(chunk_.data(), want));
+    if (got == 0) break;  // end of log: partial final batch
+    for (std::size_t i = 0; i < got; ++i)
+      out.insertions.push_back({chunk_[i].src, chunk_[i].dst});
+  }
+  if (out.insertions.empty()) {
+    remainingBatches_ = 0;
+    return false;
+  }
+  --remainingBatches_;
+  return true;
+}
+
+TemporalReplayStream::BatchCursor TemporalReplayStream::batches() const {
+  return BatchCursor(logPath_, initialCount_, batchSize_, numBatches_);
+}
+
 }  // namespace lfpr

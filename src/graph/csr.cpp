@@ -15,34 +15,46 @@ CsrGraph CsrGraph::fromEdges(VertexId numVertices, std::span<const Edge> edges,
   std::sort(sorted.begin(), sorted.end());
   if (dedup) sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
 
-  CsrGraph g;
+  auto s = std::make_shared<Storage>();
   const std::size_t n = numVertices;
   const std::size_t m = sorted.size();
 
-  g.outOffsets_.assign(n + 1, 0);
-  g.outTargets_.resize(m);
-  for (const Edge& e : sorted) ++g.outOffsets_[e.src + 1];
-  for (std::size_t i = 1; i <= n; ++i) g.outOffsets_[i] += g.outOffsets_[i - 1];
-  for (std::size_t i = 0; i < m; ++i) g.outTargets_[i] = sorted[i].dst;
+  s->outOffsets.assign(n + 1, 0);
+  s->outTargets.resize(m);
+  for (const Edge& e : sorted) ++s->outOffsets[e.src + 1];
+  for (std::size_t i = 1; i <= n; ++i) s->outOffsets[i] += s->outOffsets[i - 1];
+  for (std::size_t i = 0; i < m; ++i) s->outTargets[i] = sorted[i].dst;
 
   // In-adjacency via counting sort on destination.
-  g.inOffsets_.assign(n + 1, 0);
-  g.inSources_.resize(m);
-  for (const Edge& e : sorted) ++g.inOffsets_[e.dst + 1];
-  for (std::size_t i = 1; i <= n; ++i) g.inOffsets_[i] += g.inOffsets_[i - 1];
-  std::vector<EdgeId> cursor(g.inOffsets_.begin(), g.inOffsets_.end() - 1);
-  for (const Edge& e : sorted) g.inSources_[cursor[e.dst]++] = e.src;
+  s->inOffsets.assign(n + 1, 0);
+  s->inSources.resize(m);
+  for (const Edge& e : sorted) ++s->inOffsets[e.dst + 1];
+  for (std::size_t i = 1; i <= n; ++i) s->inOffsets[i] += s->inOffsets[i - 1];
+  std::vector<EdgeId> cursor(s->inOffsets.begin(), s->inOffsets.end() - 1);
+  for (const Edge& e : sorted) s->inSources[cursor[e.dst]++] = e.src;
   // Sources land in sorted order already because `sorted` is (src, dst)
   // ordered and the counting pass is stable.
 
   // Contribution cache: the pull kernels read R[u] * invOutDeg_[u] instead
   // of dividing by outDegree(u) per edge. Dead ends get 0.0 (never read).
-  g.invOutDeg_.resize(n);
+  s->invOutDeg.resize(n);
   for (std::size_t u = 0; u < n; ++u) {
-    const EdgeId d = g.outOffsets_[u + 1] - g.outOffsets_[u];
-    g.invOutDeg_[u] = d > 0 ? 1.0 / static_cast<double>(d) : 0.0;
+    const EdgeId d = s->outOffsets[u + 1] - s->outOffsets[u];
+    s->invOutDeg[u] = d > 0 ? 1.0 / static_cast<double>(d) : 0.0;
   }
+
+  CsrGraph g;
+  g.outOffsets_ = s->outOffsets;
+  g.outTargets_ = s->outTargets;
+  g.inOffsets_ = s->inOffsets;
+  g.inSources_ = s->inSources;
+  g.invOutDeg_ = s->invOutDeg;
+  g.store_ = std::move(s);
   return g;
+}
+
+bool CsrGraph::isMapped() const noexcept {
+  return store_ != nullptr && !store_->map.empty();
 }
 
 bool CsrGraph::hasEdge(VertexId u, VertexId v) const noexcept {
@@ -57,6 +69,14 @@ std::vector<Edge> CsrGraph::edges() const {
   for (VertexId u = 0; u < numVertices(); ++u)
     for (VertexId v : out(u)) result.push_back({u, v});
   return result;
+}
+
+bool operator==(const CsrGraph& a, const CsrGraph& b) {
+  return std::ranges::equal(a.outOffsets_, b.outOffsets_) &&
+         std::ranges::equal(a.outTargets_, b.outTargets_) &&
+         std::ranges::equal(a.inOffsets_, b.inOffsets_) &&
+         std::ranges::equal(a.inSources_, b.inSources_) &&
+         std::ranges::equal(a.invOutDeg_, b.invOutDeg_);
 }
 
 void CsrGraph::validate() const {

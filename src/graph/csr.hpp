@@ -6,12 +6,20 @@
 // directions. Snapshots are read-only: the batch-dynamic setting
 // (Section 3.4) interleaves updates and computation via immutable
 // snapshots taken from DynamicDigraph.
+//
+// Storage is a shared immutable block behind the accessor spans: either
+// vectors built by fromEdges, or a memory-mapped snapshot file
+// (csr_file.hpp) read in place. Copies share the block (cheap, safe —
+// it never mutates), so engines, kernels and benches are agnostic to
+// whether a snapshot was built in-process or mapped from disk.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "graph/types.hpp"
+#include "util/mmap_file.hpp"
 
 namespace lfpr {
 
@@ -59,6 +67,10 @@ class CsrGraph {
     return invOutDeg_;
   }
 
+  /// True if the snapshot's arrays live in a mapped file rather than
+  /// process-owned vectors (diagnostics; behaviour is identical).
+  [[nodiscard]] bool isMapped() const noexcept;
+
   /// True if the edge u -> v exists (binary search over sorted adjacency).
   [[nodiscard]] bool hasEdge(VertexId u, VertexId v) const noexcept;
 
@@ -70,14 +82,45 @@ class CsrGraph {
   /// debug assertions in the harness).
   void validate() const;
 
-  friend bool operator==(const CsrGraph& a, const CsrGraph& b) = default;
+  /// Deep content equality (spans compared element-wise; where the bytes
+  /// live — vectors or a mapping — does not matter).
+  friend bool operator==(const CsrGraph& a, const CsrGraph& b);
+
+  /// Raw array views for serialization (csr_file.cpp).
+  [[nodiscard]] std::span<const EdgeId> outOffsets() const noexcept {
+    return outOffsets_;
+  }
+  [[nodiscard]] std::span<const VertexId> outTargets() const noexcept {
+    return outTargets_;
+  }
+  [[nodiscard]] std::span<const EdgeId> inOffsets() const noexcept {
+    return inOffsets_;
+  }
+  [[nodiscard]] std::span<const VertexId> inSources() const noexcept {
+    return inSources_;
+  }
 
  private:
-  std::vector<EdgeId> outOffsets_;
-  std::vector<VertexId> outTargets_;
-  std::vector<EdgeId> inOffsets_;
-  std::vector<VertexId> inSources_;
-  std::vector<double> invOutDeg_;
+  friend CsrGraph mapCsrFile(const std::string& path);
+  friend CsrGraph readCsrFile(const std::string& path);
+
+  /// One immutable block per snapshot: the vectors when built in-process,
+  /// the mapping when loaded from a snapshot file. Shared by copies.
+  struct Storage {
+    std::vector<EdgeId> outOffsets;
+    std::vector<VertexId> outTargets;
+    std::vector<EdgeId> inOffsets;
+    std::vector<VertexId> inSources;
+    std::vector<double> invOutDeg;
+    MmapFile map;  // engaged iff the spans point into a mapped file
+  };
+
+  std::shared_ptr<const Storage> store_;
+  std::span<const EdgeId> outOffsets_;
+  std::span<const VertexId> outTargets_;
+  std::span<const EdgeId> inOffsets_;
+  std::span<const VertexId> inSources_;
+  std::span<const double> invOutDeg_;
 };
 
 }  // namespace lfpr

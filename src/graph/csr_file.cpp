@@ -1,0 +1,205 @@
+#include "graph/csr_file.hpp"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <memory>
+
+#include <unistd.h>
+
+#include "util/checksum.hpp"
+
+namespace lfpr {
+
+namespace {
+
+constexpr std::size_t kAlign = 8;
+
+std::uint64_t padded(std::uint64_t bytes) {
+  return (bytes + (kAlign - 1)) & ~static_cast<std::uint64_t>(kAlign - 1);
+}
+
+/// Section sizes are pure functions of (n, m); the format has no section
+/// table to corrupt or version-skew independently of the header.
+struct Layout {
+  std::uint64_t outOffsetsBytes, outTargetsBytes, inOffsetsBytes, inSourcesBytes,
+      invOutDegBytes, payloadBytes;
+};
+
+Layout layoutFor(std::uint64_t n, std::uint64_t m) {
+  Layout l{};
+  l.outOffsetsBytes = (n + 1) * sizeof(EdgeId);
+  l.outTargetsBytes = padded(m * sizeof(VertexId));
+  l.inOffsetsBytes = (n + 1) * sizeof(EdgeId);
+  l.inSourcesBytes = padded(m * sizeof(VertexId));
+  l.invOutDegBytes = n * sizeof(double);
+  l.payloadBytes = l.outOffsetsBytes + l.outTargetsBytes + l.inOffsetsBytes +
+                   l.inSourcesBytes + l.invOutDegBytes;
+  return l;
+}
+
+template <typename T>
+std::span<const std::byte> asBytes(std::span<const T> s) {
+  return std::as_bytes(s);
+}
+
+[[noreturn]] void fail(const std::string& path, const std::string& what) {
+  throw CsrFileError("csr snapshot '" + path + "': " + what);
+}
+
+class SectionWriter {
+ public:
+  explicit SectionWriter(std::ofstream& os) : os_(os) {}
+
+  template <typename T>
+  void write(std::span<const T> s) {
+    const auto bytes = asBytes(s);
+    os_.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    sum_.update(bytes);
+    const std::uint64_t pad = padded(bytes.size()) - bytes.size();
+    if (pad != 0) {
+      static constexpr char zeros[kAlign] = {};
+      os_.write(zeros, static_cast<std::streamsize>(pad));
+      sum_.update(std::as_bytes(std::span(zeros, pad)));
+    }
+  }
+
+  [[nodiscard]] std::uint64_t checksum() const { return sum_.value(); }
+
+ private:
+  std::ofstream& os_;
+  Checksum64 sum_;
+};
+
+}  // namespace
+
+void writeCsrFile(const std::string& path, const CsrGraph& g) {
+  const std::uint64_t n = g.numVertices();
+  const std::uint64_t m = g.numEdges();
+  const Layout l = layoutFor(n, m);
+
+  CsrFileHeader h{};
+  std::memcpy(h.magic, kCsrFileMagic, sizeof(h.magic));
+  h.version = kCsrFileVersion;
+  h.headerBytes = sizeof(CsrFileHeader);
+  h.numVertices = n;
+  h.numEdges = m;
+  h.payloadBytes = l.payloadBytes;
+
+  // Process-unique scratch name: concurrent writers of the same cache
+  // entry each fill their own tmp and the atomic rename publishes
+  // whichever finishes, never an interleaving of both. On any failure the
+  // scratch is unlinked — a scale-2 snapshot is hundreds of MB, and
+  // orphaned tmp files would pile up in the dataset cache.
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  try {
+    {
+      std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+      if (!os) fail(path, "cannot open '" + tmp + "' for writing");
+      // Header first as a placeholder: the checksum is only known after
+      // the payload pass, so it is backpatched before the rename
+      // publishes the file.
+      os.write(reinterpret_cast<const char*>(&h), sizeof(h));
+      SectionWriter w(os);
+      w.write(g.outOffsets());
+      w.write(g.outTargets());
+      w.write(g.inOffsets());
+      w.write(g.inSources());
+      w.write(g.invOutDegrees());
+      if (!os) fail(path, "write failed (disk full?)");
+      h.checksum = w.checksum();
+      os.seekp(0);
+      os.write(reinterpret_cast<const char*>(&h), sizeof(h));
+      os.flush();
+      if (!os) fail(path, "flush failed");
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) fail(path, "rename from '" + tmp + "' failed: " + ec.message());
+  } catch (...) {
+    std::error_code ignored;
+    std::filesystem::remove(tmp, ignored);
+    throw;
+  }
+}
+
+CsrGraph mapCsrFile(const std::string& path) {
+  auto store = std::make_shared<CsrGraph::Storage>();
+  store->map = MmapFile::open(path);
+  const auto bytes = store->map.bytes();
+
+  if (bytes.size() < sizeof(CsrFileHeader))
+    fail(path, "truncated: " + std::to_string(bytes.size()) +
+                   " bytes is smaller than the header");
+  CsrFileHeader h{};
+  std::memcpy(&h, bytes.data(), sizeof(h));
+  if (std::memcmp(h.magic, kCsrFileMagic, sizeof(h.magic)) != 0)
+    fail(path, "bad magic (not a CSR snapshot file)");
+  if (h.version != kCsrFileVersion)
+    fail(path, "unsupported format version " + std::to_string(h.version) +
+                   " (this build reads version " + std::to_string(kCsrFileVersion) +
+                   ")");
+  if (h.headerBytes != sizeof(CsrFileHeader))
+    fail(path, "header size mismatch");
+  if (h.numVertices > std::numeric_limits<VertexId>::max() - 1)
+    fail(path, "vertex count " + std::to_string(h.numVertices) +
+                   " exceeds the 32-bit vertex id space");
+
+  const Layout l = layoutFor(h.numVertices, h.numEdges);
+  if (h.payloadBytes != l.payloadBytes)
+    fail(path, "payload size field disagrees with |V|/|E|");
+  if (bytes.size() != sizeof(CsrFileHeader) + l.payloadBytes)
+    fail(path, "truncated: expected " +
+                   std::to_string(sizeof(CsrFileHeader) + l.payloadBytes) +
+                   " bytes, file has " + std::to_string(bytes.size()));
+
+  store->map.adviseSequential();
+  const std::span<const std::byte> payload = bytes.subspan(sizeof(CsrFileHeader));
+  if (checksum64(payload) != h.checksum) fail(path, "checksum mismatch (corrupt file)");
+
+  const std::byte* p = payload.data();
+  const auto n = static_cast<std::size_t>(h.numVertices);
+  const auto m = static_cast<std::size_t>(h.numEdges);
+
+  CsrGraph g;
+  g.outOffsets_ = {reinterpret_cast<const EdgeId*>(p), n + 1};
+  p += l.outOffsetsBytes;
+  g.outTargets_ = {reinterpret_cast<const VertexId*>(p), m};
+  p += l.outTargetsBytes;
+  g.inOffsets_ = {reinterpret_cast<const EdgeId*>(p), n + 1};
+  p += l.inOffsetsBytes;
+  g.inSources_ = {reinterpret_cast<const VertexId*>(p), m};
+  p += l.inSourcesBytes;
+  g.invOutDeg_ = {reinterpret_cast<const double*>(p), n};
+
+  // Cheap header-vs-content coherence checks (full structural validation
+  // is validate(), O(m log d) — callers opt in).
+  if (n != 0 && (g.outOffsets_[0] != 0 || g.outOffsets_[n] != m ||
+                 g.inOffsets_[0] != 0 || g.inOffsets_[n] != m))
+    fail(path, "offset arrays disagree with the header edge count");
+
+  g.store_ = std::move(store);
+  return g;
+}
+
+CsrGraph readCsrFile(const std::string& path) {
+  const CsrGraph mapped = mapCsrFile(path);
+  auto s = std::make_shared<CsrGraph::Storage>();
+  s->outOffsets.assign(mapped.outOffsets_.begin(), mapped.outOffsets_.end());
+  s->outTargets.assign(mapped.outTargets_.begin(), mapped.outTargets_.end());
+  s->inOffsets.assign(mapped.inOffsets_.begin(), mapped.inOffsets_.end());
+  s->inSources.assign(mapped.inSources_.begin(), mapped.inSources_.end());
+  s->invOutDeg.assign(mapped.invOutDeg_.begin(), mapped.invOutDeg_.end());
+  CsrGraph g;
+  g.outOffsets_ = s->outOffsets;
+  g.outTargets_ = s->outTargets;
+  g.inOffsets_ = s->inOffsets;
+  g.inSources_ = s->inSources;
+  g.invOutDeg_ = s->invOutDeg;
+  g.store_ = std::move(s);
+  return g;
+}
+
+}  // namespace lfpr

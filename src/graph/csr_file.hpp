@@ -1,0 +1,64 @@
+// Versioned binary on-disk CSR snapshot format.
+//
+// Layout (little-endian, all sections 8-byte aligned):
+//
+//   CsrFileHeader   48 bytes: magic "LFPRCSR\n", version, header size,
+//                   |V|, |E|, payload byte count, payload checksum
+//   outOffsets      (|V|+1) x u64
+//   outTargets      |E| x u32, zero-padded to 8 bytes
+//   inOffsets       (|V|+1) x u64
+//   inSources       |E| x u32, zero-padded to 8 bytes
+//   invOutDeg       |V| x f64
+//
+// The section layout is fully determined by (|V|, |E|), so a mapped file
+// is consumed zero-copy: mapCsrFile() returns a CsrGraph whose spans
+// point into the mapping (shared, immutable, mutex-free — the pull
+// kernels and engines read it exactly like an in-process snapshot).
+// Every load verifies magic, version, size arithmetic and the payload
+// checksum, and rejects corrupt files with a CsrFileError naming the
+// path and the failure.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "graph/csr.hpp"
+
+namespace lfpr {
+
+inline constexpr std::uint32_t kCsrFileVersion = 1;
+inline constexpr char kCsrFileMagic[8] = {'L', 'F', 'P', 'R', 'C', 'S', 'R', '\n'};
+
+struct CsrFileHeader {
+  char magic[8];
+  std::uint32_t version;
+  std::uint32_t headerBytes;
+  std::uint64_t numVertices;
+  std::uint64_t numEdges;
+  std::uint64_t payloadBytes;
+  std::uint64_t checksum;
+};
+static_assert(sizeof(CsrFileHeader) == 48, "header layout is part of the format");
+
+class CsrFileError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Serialize a snapshot. Writes to `path` + ".tmp" then renames, so a
+/// crashed writer never leaves a plausible-looking partial snapshot
+/// behind. Throws CsrFileError on I/O failure.
+void writeCsrFile(const std::string& path, const CsrGraph& g);
+
+/// Zero-copy load: validate the file, then return a CsrGraph borrowing
+/// the mapping (kept alive by the graph's shared storage). Throws
+/// CsrFileError on bad magic, unsupported version, truncation/size
+/// mismatch, or checksum mismatch.
+CsrGraph mapCsrFile(const std::string& path);
+
+/// Owned load: like mapCsrFile but copies the arrays into process-owned
+/// vectors (no mapping outlives the call).
+CsrGraph readCsrFile(const std::string& path);
+
+}  // namespace lfpr

@@ -1,0 +1,178 @@
+#include "graph/edge_log.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <limits>
+#include <unordered_set>
+#include <vector>
+
+#include <unistd.h>
+
+#include "util/checksum.hpp"
+
+namespace lfpr {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& path, const std::string& what) {
+  throw EdgeLogError("edge log '" + path + "': " + what);
+}
+
+EdgeLogHeader readAndCheckHeader(std::ifstream& is, const std::string& path) {
+  EdgeLogHeader h{};
+  is.read(reinterpret_cast<char*>(&h), sizeof(h));
+  if (is.gcount() != sizeof(h))
+    fail(path, "truncated: file is smaller than the header");
+  if (std::memcmp(h.magic, kEdgeLogMagic, sizeof(h.magic)) != 0)
+    fail(path, "bad magic (not a temporal edge log)");
+  if (h.version != kEdgeLogVersion)
+    fail(path, "unsupported format version " + std::to_string(h.version) +
+                   " (this build reads version " + std::to_string(kEdgeLogVersion) +
+                   ")");
+  if (h.headerBytes != sizeof(EdgeLogHeader)) fail(path, "header size mismatch");
+  if (h.numVertices > std::numeric_limits<VertexId>::max() - 1)
+    fail(path, "vertex count " + std::to_string(h.numVertices) +
+                   " exceeds the 32-bit vertex id space");
+  if (h.payloadBytes != h.numEdges * sizeof(TemporalEdge))
+    fail(path, "payload size field disagrees with the record count");
+  return h;
+}
+
+std::uintmax_t fileSizeOrFail(const std::string& path) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec) fail(path, "cannot stat: " + ec.message());
+  return size;
+}
+
+void checkFileSize(const EdgeLogHeader& h, const std::string& path) {
+  const auto size = fileSizeOrFail(path);
+  const auto expected = sizeof(EdgeLogHeader) + h.payloadBytes;
+  if (size != expected)
+    fail(path, "truncated: expected " + std::to_string(expected) +
+                   " bytes, file has " + std::to_string(size));
+}
+
+}  // namespace
+
+void writeTemporalEdgeLog(const std::string& path, const TemporalEdgeListData& data) {
+  // Stable sort by timestamp: the replay protocol's order (stream order
+  // preserved among equal timestamps), baked in once at write time.
+  std::vector<TemporalEdge> stream = data.edges;
+  std::stable_sort(stream.begin(), stream.end(),
+                   [](const TemporalEdge& a, const TemporalEdge& b) {
+                     return a.time < b.time;
+                   });
+
+  std::uint64_t numStatic = 0;
+  {
+    std::unordered_set<Edge, EdgeHash> distinct;
+    distinct.reserve(stream.size() * 2);
+    for (const TemporalEdge& e : stream) distinct.insert({e.src, e.dst});
+    numStatic = distinct.size();
+  }
+
+  EdgeLogHeader h{};
+  std::memcpy(h.magic, kEdgeLogMagic, sizeof(h.magic));
+  h.version = kEdgeLogVersion;
+  h.headerBytes = sizeof(EdgeLogHeader);
+  h.numVertices = data.numVertices;
+  h.numEdges = stream.size();
+  h.numStaticEdges = numStatic;
+  h.payloadBytes = stream.size() * sizeof(TemporalEdge);
+  h.checksum = checksum64(std::as_bytes(std::span(stream)));
+
+  // Process-unique scratch, unlinked on failure (see writeCsrFile):
+  // concurrent writers never interleave into one tmp, failed writes
+  // never orphan one.
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  try {
+    {
+      std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+      if (!os) fail(path, "cannot open '" + tmp + "' for writing");
+      os.write(reinterpret_cast<const char*>(&h), sizeof(h));
+      os.write(reinterpret_cast<const char*>(stream.data()),
+               static_cast<std::streamsize>(h.payloadBytes));
+      os.flush();
+      if (!os) fail(path, "write failed (disk full?)");
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) fail(path, "rename from '" + tmp + "' failed: " + ec.message());
+  } catch (...) {
+    std::error_code ignored;
+    std::filesystem::remove(tmp, ignored);
+    throw;
+  }
+}
+
+TemporalEdgeListData readTemporalEdgeLog(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) fail(path, "cannot open");
+  const EdgeLogHeader h = readAndCheckHeader(is, path);
+  checkFileSize(h, path);
+
+  TemporalEdgeListData data;
+  data.numVertices = static_cast<VertexId>(h.numVertices);
+  data.edges.resize(h.numEdges);
+  is.read(reinterpret_cast<char*>(data.edges.data()),
+          static_cast<std::streamsize>(h.payloadBytes));
+  if (static_cast<std::uint64_t>(is.gcount()) != h.payloadBytes)
+    fail(path, "truncated while reading records");
+  if (checksum64(std::as_bytes(std::span(data.edges))) != h.checksum)
+    fail(path, "checksum mismatch (corrupt file)");
+  return data;
+}
+
+void verifyTemporalEdgeLog(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) fail(path, "cannot open");
+  const EdgeLogHeader h = readAndCheckHeader(is, path);
+  checkFileSize(h, path);
+
+  Checksum64 sum;
+  std::vector<std::byte> buf(std::size_t{1} << 20);
+  std::uint64_t remaining = h.payloadBytes;
+  while (remaining > 0) {
+    const auto chunk = static_cast<std::streamsize>(
+        std::min<std::uint64_t>(remaining, buf.size()));
+    is.read(reinterpret_cast<char*>(buf.data()), chunk);
+    if (is.gcount() != chunk) fail(path, "truncated while reading records");
+    sum.update(std::span(buf.data(), static_cast<std::size_t>(chunk)));
+    remaining -= static_cast<std::uint64_t>(chunk);
+  }
+  if (sum.value() != h.checksum) fail(path, "checksum mismatch (corrupt file)");
+}
+
+TemporalEdgeLogReader::TemporalEdgeLogReader(const std::string& path)
+    : is_(path, std::ios::binary), path_(path) {
+  if (!is_) fail(path, "cannot open");
+  const EdgeLogHeader h = readAndCheckHeader(is_, path);
+  checkFileSize(h, path);
+  numVertices_ = static_cast<VertexId>(h.numVertices);
+  numEdges_ = h.numEdges;
+  numStaticEdges_ = h.numStaticEdges;
+}
+
+void TemporalEdgeLogReader::seek(EdgeId index) {
+  pos_ = std::min(index, numEdges_);
+  is_.clear();
+  is_.seekg(static_cast<std::streamoff>(sizeof(EdgeLogHeader) +
+                                        pos_ * sizeof(TemporalEdge)));
+}
+
+std::size_t TemporalEdgeLogReader::read(std::span<TemporalEdge> out) {
+  const EdgeId left = numEdges_ - pos_;
+  const std::size_t want =
+      static_cast<std::size_t>(std::min<EdgeId>(left, out.size()));
+  if (want == 0) return 0;
+  is_.read(reinterpret_cast<char*>(out.data()),
+           static_cast<std::streamsize>(want * sizeof(TemporalEdge)));
+  if (static_cast<std::uint64_t>(is_.gcount()) != want * sizeof(TemporalEdge))
+    fail(path_, "truncated while reading records");
+  pos_ += want;
+  return want;
+}
+
+}  // namespace lfpr

@@ -1,0 +1,91 @@
+// Versioned binary temporal edge log — the out-of-core counterpart of
+// TemporalEdgeListData.
+//
+// Layout (little-endian):
+//
+//   EdgeLogHeader   56 bytes: magic "LFPRELG\n", version, header size,
+//                   |V|, temporal edge count |E_T|, distinct static edge
+//                   count |E|, payload byte count, payload checksum
+//   records         |E_T| x {u32 src, u32 dst, u64 time}, 16 bytes each,
+//                   stable-sorted by timestamp at write time
+//
+// Records are stored replay-ready (time-sorted), so a reader streams
+// fixed-size chunks straight into batch construction with memory bounded
+// by the chunk size — logs far larger than RAM replay fine. The distinct
+// edge count is computed once at write time and carried in the header
+// (recomputing it needs a hash set proportional to |E|).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <span>
+#include <stdexcept>
+#include <string>
+
+#include "graph/io.hpp"
+#include "graph/types.hpp"
+
+namespace lfpr {
+
+inline constexpr std::uint32_t kEdgeLogVersion = 1;
+inline constexpr char kEdgeLogMagic[8] = {'L', 'F', 'P', 'R', 'E', 'L', 'G', '\n'};
+
+struct EdgeLogHeader {
+  char magic[8];
+  std::uint32_t version;
+  std::uint32_t headerBytes;
+  std::uint64_t numVertices;
+  std::uint64_t numEdges;        // temporal records, |E_T|
+  std::uint64_t numStaticEdges;  // distinct (src, dst) pairs, |E|
+  std::uint64_t payloadBytes;
+  std::uint64_t checksum;
+};
+static_assert(sizeof(EdgeLogHeader) == 56, "header layout is part of the format");
+static_assert(sizeof(TemporalEdge) == 16, "record layout is part of the format");
+
+class EdgeLogError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Serialize a temporal stream, stable-sorted by timestamp (the replay
+/// protocol's order). Writes `path` + ".tmp" then renames. Throws
+/// EdgeLogError on I/O failure.
+void writeTemporalEdgeLog(const std::string& path, const TemporalEdgeListData& data);
+
+/// Full in-memory read with checksum verification (tests, small logs).
+TemporalEdgeListData readTemporalEdgeLog(const std::string& path);
+
+/// Checksum pass over the records without materializing them. Throws
+/// EdgeLogError on any corruption.
+void verifyTemporalEdgeLog(const std::string& path);
+
+/// Streaming reader with bounded memory: validates the header and size
+/// arithmetic on open (use verifyTemporalEdgeLog for the checksum pass —
+/// a cursor that stops early never sees the whole payload), then serves
+/// arbitrary-position chunk reads.
+class TemporalEdgeLogReader {
+ public:
+  explicit TemporalEdgeLogReader(const std::string& path);
+
+  [[nodiscard]] VertexId numVertices() const noexcept { return numVertices_; }
+  [[nodiscard]] EdgeId numEdges() const noexcept { return numEdges_; }
+  [[nodiscard]] EdgeId numStaticEdges() const noexcept { return numStaticEdges_; }
+
+  /// Position the cursor at record `index` (clamped to the record count).
+  void seek(EdgeId index);
+
+  /// Read up to out.size() records at the cursor; returns the number
+  /// actually read (0 at end of log).
+  std::size_t read(std::span<TemporalEdge> out);
+
+ private:
+  std::ifstream is_;
+  std::string path_;
+  VertexId numVertices_ = 0;
+  EdgeId numEdges_ = 0;
+  EdgeId numStaticEdges_ = 0;
+  EdgeId pos_ = 0;
+};
+
+}  // namespace lfpr
