@@ -13,6 +13,13 @@
 // vertices end up affected; DF does best on sparse road/k-mer graphs and
 // worst on dense social graphs; error stays within a small band around
 // the iteration tolerance.
+//
+// PR 5 adds a DFLF_wl series — DFLF under SchedulingMode::Worklist (the
+// sparse-frontier rings + publish diet) — so the dynamic-engine win of
+// the worklist is measured at engine level across batch fractions: it
+// should track or beat DFLF at small fractions (iteration cost
+// proportional to the frontier, not |V|) and lose at large fractions
+// where the frontier is dense and the dense sweep's locality wins.
 #include <map>
 
 #include "bench_common.hpp"
@@ -43,6 +50,7 @@ int main() {
 
   // runtimes[approach][fraction] -> per-graph times for the geomean.
   std::map<Approach, std::map<double, std::vector<double>>> runtimes;
+  std::map<double, std::vector<double>> dflfWlMs, dflfWlErr;
   std::map<double, std::vector<double>> dflfErr, dfbbErr, ndlfErr;
   std::map<double, std::vector<double>> affectedShare;
 
@@ -52,7 +60,7 @@ int main() {
     const auto opt = bench::benchOptions(cfg, base.numVertices());
 
     Table table({"batch_frac", "StaticBB", "NDBB", "DFBB", "StaticLF", "NDLF",
-                 "DFLF", "DFLF_affected", "DFLF_err"});
+                 "DFLF", "DFLF_wl", "DFLF_affected", "DFLF_err"});
 
     // Static runs do not depend on the batch: time them once per graph.
     const auto currForStatic = base.toCsr();
@@ -80,6 +88,15 @@ int main() {
         if (a == Approach::NDLF) ndLfResult = r;
       }
 
+      // DFLF under worklist scheduling (PR 5 sparse-frontier series).
+      PageRankOptions wlOpt = opt;
+      wlOpt.scheduling = SchedulingMode::Worklist;
+      PageRankResult dfLfWlResult;
+      const double wlMs = bench::timedMs(
+          cfg, [&] { dfLfWlResult = runOnScenario(Approach::DFLF, scenario, wlOpt); });
+      dflfWlMs[fraction].push_back(wlMs);
+      dflfWlErr[fraction].push_back(linfNorm(dfLfWlResult.ranks, ref));
+
       for (Approach a : kApproaches) runtimes[a][fraction].push_back(ms[a]);
       dflfErr[fraction].push_back(linfNorm(dfLfResult.ranks, ref));
       dfbbErr[fraction].push_back(linfNorm(dfBbResult.ranks, ref));
@@ -92,8 +109,11 @@ int main() {
                     bench::fmtMs(ms[Approach::NDBB]), bench::fmtMs(ms[Approach::DFBB]),
                     bench::fmtMs(ms[Approach::StaticLF]),
                     bench::fmtMs(ms[Approach::NDLF]), bench::fmtMs(ms[Approach::DFLF]),
+                    bench::fmtMs(wlMs),
                     Table::count(dfLfResult.affectedVertices),
                     Table::sci(linfNorm(dfLfResult.ranks, ref), 1)});
+      if (fraction == kFractions[0])
+        bench::printProtocolStats(spec.name + "/DFLF_wl", dfLfWlResult);
     }
     std::cout << "--- " << spec.name << " (" << spec.family << ") ---\n";
     table.print(std::cout);
@@ -102,26 +122,31 @@ int main() {
 
   std::cout << "=== (b) geometric-mean runtime across graphs ===\n";
   Table meanTable({"batch_frac", "StaticBB", "NDBB", "DFBB", "StaticLF", "NDLF",
-                   "DFLF", "DFLF/StaticLF", "DFLF/NDLF", "affected_share"});
+                   "DFLF", "DFLF_wl", "DFLF/StaticLF", "DFLF/NDLF",
+                   "DFLF_wl/DFLF", "affected_share"});
   for (double fraction : kFractions) {
     std::map<Approach, double> gm;
     for (Approach a : kApproaches) gm[a] = geomean(runtimes[a][fraction]);
+    const double gmWl = geomean(dflfWlMs[fraction]);
     meanTable.addRow(
         {Table::sci(fraction, 0), bench::fmtMs(gm[Approach::StaticBB]),
          bench::fmtMs(gm[Approach::NDBB]), bench::fmtMs(gm[Approach::DFBB]),
          bench::fmtMs(gm[Approach::StaticLF]), bench::fmtMs(gm[Approach::NDLF]),
-         bench::fmtMs(gm[Approach::DFLF]),
+         bench::fmtMs(gm[Approach::DFLF]), bench::fmtMs(gmWl),
          Table::num(gm[Approach::StaticLF] / gm[Approach::DFLF], 2) + "x",
          Table::num(gm[Approach::NDLF] / gm[Approach::DFLF], 2) + "x",
+         Table::num(gm[Approach::DFLF] / gmWl, 2) + "x",
          Table::num(mean(affectedShare[fraction]), 2)});
   }
   meanTable.print(std::cout);
 
   std::cout << "\n=== (c) mean L-inf error vs reference ===\n";
-  Table err({"batch_frac", "DFBB_err", "DFLF_err", "NDLF_err", "tolerance_note"});
+  Table err({"batch_frac", "DFBB_err", "DFLF_err", "DFLF_wl_err", "NDLF_err",
+             "tolerance_note"});
   for (double fraction : kFractions) {
     err.addRow({Table::sci(fraction, 0), Table::sci(mean(dfbbErr[fraction]), 1),
                 Table::sci(mean(dflfErr[fraction]), 1),
+                Table::sci(mean(dflfWlErr[fraction]), 1),
                 Table::sci(mean(ndlfErr[fraction]), 1),
                 "tau scales as 1e-3/|V| (see DESIGN.md)"});
   }

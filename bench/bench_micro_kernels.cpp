@@ -26,6 +26,7 @@
 #include "sched/barrier.hpp"
 #include "sched/chunk_cursor.hpp"
 #include "sched/thread_team.hpp"
+#include "sched/work_ring.hpp"
 #include "util/env.hpp"
 #include "util/rng.hpp"
 
@@ -204,6 +205,153 @@ void BM_MappedRankPullKernelWeightedAtomic(benchmark::State& state) {
                           static_cast<std::int64_t>(g.numEdges()));
 }
 BENCHMARK(BM_MappedRankPullKernelWeightedAtomic);
+
+// --- Sparse-frontier scheduling: dense scan vs worklist --------------------
+//
+// Models ONE iteration of a lock-free engine over a dirty set of
+// f * |V| vertices (f = Arg() basis points): re-mark the frontier, then
+// find-and-process it. Per-vertex processing mirrors updateVertex's
+// convergent path in both modes — pull, publish, clear-then-reverify
+// re-pull, publish — so the benchmark isolates exactly what
+// SchedulingMode changes:
+//
+//   Dense     sweep all |V| affected bytes + the word-wide convergence
+//             scan each iteration, publishes through the RMW exchange.
+//   Worklist  drain the dirty ring only, publishes through the owner's
+//             plain-store diet. (The worklist's flag scans run once per
+//             *solve*, when a ring goes dry — not per iteration — so
+//             they are not part of the per-iteration cost modelled
+//             here.)
+//
+// items/s = frontier vertices per second, so the Dense-vs-Worklist ratio
+// at equal Arg() is the per-iteration cost advantage. Scale-0 runs a
+// cache-resident RMAT; the S1 variants run the first Table-2 stand-in at
+// scale 1 through the dataset cache — the acceptance regime for PR 5
+// (>= 3x at the 0.1% fraction, Arg() = 10).
+
+constexpr int kFrontierBasisPoints[] = {1, 10, 100, 1000};  // 0.01%..10%
+
+std::vector<VertexId> pickFrontier(const CsrGraph& g, int bp) {
+  const std::size_t n = g.numVertices();
+  std::size_t count = (n * static_cast<std::size_t>(bp)) / 10000;
+  if (count == 0) count = 1;
+  std::vector<std::uint8_t> chosen(n, 0);
+  std::vector<VertexId> out;
+  out.reserve(count);
+  Rng rng(99);
+  while (out.size() < count) {
+    const auto v = static_cast<VertexId>(rng.uniform() * static_cast<double>(n));
+    if (v < n && chosen[v] == 0) {
+      chosen[v] = 1;
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+/// updateVertex's convergent path, dense flavour: exchange publishes.
+inline void processFrontierVertexDense(const CsrGraph& g, AtomicF64Vector& ranks,
+                                       AtomicU8Vector& nc, VertexId v,
+                                       double alpha, double base) {
+  const double r = detail::pullRank(g, ranks, v, alpha, base);
+  benchmark::DoNotOptimize(ranks.exchange(v, r));
+  if (nc.load(v) == 1 &&
+      nc.exchange(v, 0, std::memory_order_acquire) != 0) {
+    const double r2 = detail::pullRank(g, ranks, v, alpha, base);
+    benchmark::DoNotOptimize(ranks.exchange(v, r2));
+  }
+}
+
+/// Same path, worklist diet flavour: owner plain-store publishes.
+inline void processFrontierVertexDiet(const CsrGraph& g, AtomicF64Vector& ranks,
+                                      AtomicU8Vector& nc, VertexId v,
+                                      double alpha, double base) {
+  const double r = detail::pullRank(g, ranks, v, alpha, base);
+  benchmark::DoNotOptimize(ranks.load(v));
+  ranks.store(v, r);
+  if (nc.load(v) == 1 &&
+      nc.exchange(v, 0, std::memory_order_acquire) != 0) {
+    const double r2 = detail::pullRank(g, ranks, v, alpha, base);
+    ranks.store(v, r2);
+  }
+}
+
+void sparseFrontierDense(benchmark::State& state, const CsrGraph& g) {
+  const std::size_t n = g.numVertices();
+  const auto dirty = pickFrontier(g, static_cast<int>(state.range(0)));
+  AtomicF64Vector ranks(n, 1.0 / static_cast<double>(n));
+  AtomicU8Vector nc(n, 0);
+  AtomicU8Vector affected(n, 0);
+  for (VertexId v : dirty) affected.store(v, 1);
+  const double base = 0.15 / static_cast<double>(n);
+  for (auto _ : state) {
+    for (VertexId v : dirty) nc.fetchOr(v, 1, std::memory_order_release);
+    for (VertexId v = 0; v < n; ++v) {
+      if (affected.load(v) == 0) continue;
+      processFrontierVertexDense(g, ranks, nc, v, 0.85, base);
+    }
+    std::size_t hint = 0;
+    benchmark::DoNotOptimize(nc.allZeroFrom(hint));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dirty.size()));
+}
+
+void sparseFrontierWorklist(benchmark::State& state, const CsrGraph& g) {
+  const std::size_t n = g.numVertices();
+  const auto dirty = pickFrontier(g, static_cast<int>(state.range(0)));
+  AtomicF64Vector ranks(n, 1.0 / static_cast<double>(n));
+  AtomicU8Vector nc(n, 0);
+  WorklistScheduler wl(n, /*numThreads=*/1, /*seedSweep=*/false);
+  const double base = 0.15 / static_cast<double>(n);
+  for (auto _ : state) {
+    for (VertexId v : dirty) {
+      nc.fetchOr(v, 1, std::memory_order_release);
+      wl.enqueue(v);
+    }
+    VertexId v = 0;
+    while (wl.tryPop(0, v))
+      processFrontierVertexDiet(g, ranks, nc, v, 0.85, base);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dirty.size()));
+}
+
+const CsrGraph& frontierSmokeGraph() {
+  static const CsrGraph g = makeGraph(12, 32000);
+  return g;
+}
+
+/// First Table-2 stand-in at scale 1 via the dataset cache (generated
+/// once, mmap-loaded thereafter) — independent of LFPR_BENCH_SCALE so
+/// the acceptance numbers are comparable across hosts and CI.
+const CsrGraph& frontierScale1Graph() {
+  static const CsrGraph g = [] {
+    const DatasetSpec spec = staticDatasets(/*scale=*/1).front();
+    return loadDatasetCsr(spec, /*scale=*/1, /*seed=*/1);
+  }();
+  return g;
+}
+
+void BM_SparseFrontierDense(benchmark::State& state) {
+  sparseFrontierDense(state, frontierSmokeGraph());
+}
+BENCHMARK(BM_SparseFrontierDense)->Arg(1)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_SparseFrontierWorklist(benchmark::State& state) {
+  sparseFrontierWorklist(state, frontierSmokeGraph());
+}
+BENCHMARK(BM_SparseFrontierWorklist)->Arg(1)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_SparseFrontierDenseS1(benchmark::State& state) {
+  sparseFrontierDense(state, frontierScale1Graph());
+}
+BENCHMARK(BM_SparseFrontierDenseS1)->Arg(1)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_SparseFrontierWorklistS1(benchmark::State& state) {
+  sparseFrontierWorklist(state, frontierScale1Graph());
+}
+BENCHMARK(BM_SparseFrontierWorklistS1)->Arg(1)->Arg(10)->Arg(100)->Arg(1000);
 
 // ---------------------------------------------------------------------------
 

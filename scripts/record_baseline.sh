@@ -29,9 +29,13 @@ trap 'rm -rf "$workdir"' EXIT
 
 "$build/bench/bench_table2_static_datasets" > "$workdir/table2.txt"
 
+# Microbenches run with repetitions; compare_bench.py reduces the
+# per-repetition entries to min-of-repetitions, which damps the
+# heap-placement jitter PR 4 documented (same binary, ~15% swings).
 micro_json="$workdir/micro.json"
 if [[ -x "$build/bench/bench_micro_kernels" ]]; then
   "$build/bench/bench_micro_kernels" \
+    --benchmark_repetitions="$repeats" \
     --benchmark_format=json --benchmark_out="$micro_json" \
     --benchmark_out_format=json >/dev/null
 else
@@ -43,6 +47,7 @@ if [[ "$scale2" == "1" && -x "$build/bench/bench_micro_kernels" ]]; then
   micro2_json="$workdir/micro_scale2.json"
   LFPR_BENCH_SCALE=2 "$build/bench/bench_micro_kernels" \
     --benchmark_filter='BM_Mapped' \
+    --benchmark_repetitions="$repeats" \
     --benchmark_format=json --benchmark_out="$micro2_json" \
     --benchmark_out_format=json >/dev/null
 fi

@@ -127,6 +127,18 @@ class AtomicU8Vector {
     return false;
   }
 
+  /// Index of the first non-zero flag in [begin, end), or end if none —
+  /// the word-wide scan behind allZero, exposed so worklist partition
+  /// reconciles cost one relaxed load per eight flags instead of a
+  /// per-vertex byte loop (same monotone-read semantics as the scans).
+  [[nodiscard]] std::size_t firstNonZero(std::size_t begin,
+                                         std::size_t end) const noexcept {
+    const std::size_t e = end < v_.size() ? end : v_.size();
+    if (begin >= e) return end;
+    const std::size_t i = findNonZero(begin, e);
+    return i == e ? end : i;
+  }
+
   [[nodiscard]] std::uint64_t countNonZero() const noexcept {
     const std::size_t n = v_.size();
     std::uint64_t count = 0;

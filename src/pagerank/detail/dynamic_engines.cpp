@@ -1,6 +1,7 @@
 #include "pagerank/detail/dynamic_engines.hpp"
 
 #include <atomic>
+#include <memory>
 #include <stdexcept>
 #include <vector>
 
@@ -11,6 +12,7 @@
 #include "pagerank/detail/power_bb.hpp"
 #include "sched/chunk_cursor.hpp"
 #include "sched/thread_team.hpp"
+#include "sched/work_ring.hpp"
 #include "util/timer.hpp"
 
 namespace lfpr::detail {
@@ -112,9 +114,13 @@ PageRankResult dynamicLF(const CsrGraph& prev, const CsrGraph& curr,
   AtomicU8Vector notConverged(n, 0);
   AtomicU8Vector checked(n, 0);
 
+  const bool useWorklist = resolved.scheduling == SchedulingMode::Worklist;
+  // Worklist solves detect convergence on the per-vertex flags; the
+  // per-chunk ablation only applies to the dense scheduler.
+  const bool perChunk = resolved.perChunkConvergence && !useWorklist;
   const std::size_t numChunks = (n + resolved.chunkSize - 1) / resolved.chunkSize;
-  AtomicU8Vector chunkFlags(resolved.perChunkConvergence ? numChunks : 0, 0);
-  AtomicU8Vector* chunkFlagsPtr = resolved.perChunkConvergence ? &chunkFlags : nullptr;
+  AtomicU8Vector chunkFlags(perChunk ? numChunks : 0, 0);
+  AtomicU8Vector* chunkFlagsPtr = perChunk ? &chunkFlags : nullptr;
 
   ChunkCursor markCursor(edges.size(), kEdgeChunkSize);
   RoundCursorSet rounds(n, resolved.chunkSize,
@@ -122,6 +128,14 @@ PageRankResult dynamicLF(const CsrGraph& prev, const CsrGraph& curr,
   std::atomic<bool> allConverged{false};
   std::atomic<int> maxRound{0};
   std::atomic<std::uint64_t> rankUpdates{0};
+  ProtocolCounters counters;
+
+  // DT/DF worklist solves are ring-seeded by the marking phase and start
+  // in the sparse (ring-driven) phase directly.
+  std::unique_ptr<WorklistScheduler> worklist;
+  if (useWorklist)
+    worklist = std::make_unique<WorklistScheduler>(n, team.size(),
+                                                   /*seedSweep=*/false);
 
   const LfShared iterate{curr,
                          pull,
@@ -135,13 +149,16 @@ PageRankResult dynamicLF(const CsrGraph& prev, const CsrGraph& curr,
                          maxRound,
                          rankUpdates,
                          resolved,
-                         fault};
+                         fault,
+                         worklist.get(),
+                         &counters};
   const Stopwatch timer;
   team.run([&](int tid) {
     if (fault != nullptr && fault->crashed(tid)) return;
     const MarkShared mark{prev,       curr,         edges,         checked,
                           affected,   notConverged, chunkFlagsPtr, resolved.chunkSize,
-                          markCursor, traverse,     fault};
+                          markCursor, traverse,     fault,         worklist.get(),
+                          &counters};
     if (!markAffectedWorker(mark, tid)) return;  // crashed mid-marking
     lfIterateWorker(iterate, tid);
   });
@@ -158,6 +175,8 @@ PageRankResult dynamicLF(const CsrGraph& prev, const CsrGraph& curr,
   result.rankUpdates = rankUpdates.load();
   result.affectedVertices = affected.countNonZero();
   result.ranks = ranks.toVector();
+  result.protocolStats = counters.snapshot();
+  if (worklist) result.protocolStats.ringPushes = worklist->pushes();
   return result;
 }
 

@@ -1,31 +1,39 @@
 // The shared release-mark primitive of the lock-free termination
-// protocol (see the protocol comment in lf_iterate.cpp). Used by both
-// the marking phase and the iteration core so the two load-bearing
-// properties live in exactly one place:
+// protocol (see the protocol comment in lf_iterate.cpp). Used by the
+// marking phase, the iteration core and the worklist scheduler so the
+// load-bearing properties live in exactly one place:
 //
 //  * both stores are release RMWs (fetchOr) — plain stores would break
 //    the release sequences the acquire clears synchronize through, and
 //    skipping the RMW when the flag already reads 1 would let a marker's
 //    rank publish stay invisible to a concurrent clear;
 //  * the vertex flag is marked BEFORE the chunk flag — the order
-//    clearChunkFlagAndReverify's acquire-rescan relies on.
+//    clearChunkFlagAndReverify's acquire-rescan relies on;
+//  * under Worklist scheduling the ring enqueue comes AFTER the flag
+//    mark: a popped entry may then race a concurrent re-mark, but the
+//    flag is already visible to the clear-then-reverify path, so the
+//    mark can never be lost even if the enqueue is.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 
 #include "pagerank/atomics.hpp"
+#include "sched/work_ring.hpp"
 
 namespace lfpr::detail {
 
 /// Mark vertex w "not yet converged", plus its owning chunk when
-/// per-chunk flags are in use.
+/// per-chunk flags are in use, plus the owner's dirty ring when Worklist
+/// scheduling is active.
 inline void markVertexUnconverged(AtomicU8Vector& notConverged,
                                   AtomicU8Vector* chunkFlags,
-                                  std::size_t chunkSize, std::size_t w) {
+                                  std::size_t chunkSize, std::size_t w,
+                                  WorklistScheduler* worklist = nullptr) {
   notConverged.fetchOr(w, 1, std::memory_order_release);
   if (chunkFlags != nullptr)
     chunkFlags->fetchOr(w / chunkSize, 1, std::memory_order_release);
+  if (worklist != nullptr) worklist->enqueue(w);
 }
 
 }  // namespace lfpr::detail

@@ -17,9 +17,11 @@
 #include "graph/csr.hpp"
 #include "graph/pull_csr.hpp"
 #include "pagerank/atomics.hpp"
+#include "pagerank/detail/stats.hpp"
 #include "pagerank/options.hpp"
 #include "sched/chunk_cursor.hpp"
 #include "sched/fault.hpp"
+#include "sched/work_ring.hpp"
 
 namespace lfpr::detail {
 
@@ -51,6 +53,12 @@ struct LfShared {
   std::atomic<std::uint64_t>& rankUpdates;
   const PageRankOptions& opt;
   FaultInjector* fault = nullptr;
+  /// Non-null when opt.scheduling == SchedulingMode::Worklist: the
+  /// per-thread dirty-vertex rings that replace the dense chunked sweep
+  /// (see the worklist + publish-diet note in lf_iterate.cpp).
+  WorklistScheduler* worklist = nullptr;
+  /// Protocol-cost counters (LFPR_STATS builds; ignored otherwise).
+  ProtocolCounters* stats = nullptr;
 };
 
 /// Body executed by each worker thread (tid) until convergence, crash, or

@@ -15,7 +15,9 @@ namespace {
 // termination-protocol comment in lf_iterate.cpp.
 void markVertex(const MarkShared& s, VertexId w) {
   s.affected.store(w, 1);
-  markVertexUnconverged(s.notConverged, s.chunkFlags, s.chunkSize, w);
+  markVertexUnconverged(s.notConverged, s.chunkFlags, s.chunkSize, w,
+                        s.worklist);
+  LFPR_COUNT(s.stats, flagRmws, s.chunkFlags != nullptr ? 2 : 1);
 }
 
 /// Iterative DFS over the current graph marking every reachable vertex.
@@ -34,7 +36,11 @@ void visitDfs(const MarkShared& s, VertexId start, std::vector<VertexId>& stack,
       return true;
     }
     const bool first = s.affected.exchange(w, 1) == 0;
-    if (first) markVertexUnconverged(s.notConverged, s.chunkFlags, s.chunkSize, w);
+    if (first) {
+      markVertexUnconverged(s.notConverged, s.chunkFlags, s.chunkSize, w,
+                            s.worklist);
+      LFPR_COUNT(s.stats, flagRmws, s.chunkFlags != nullptr ? 2 : 1);
+    }
     return first;
   };
 

@@ -16,8 +16,10 @@
 
 #include "graph/csr.hpp"
 #include "pagerank/atomics.hpp"
+#include "pagerank/detail/stats.hpp"
 #include "sched/chunk_cursor.hpp"
 #include "sched/fault.hpp"
+#include "sched/work_ring.hpp"
 
 namespace lfpr::detail {
 
@@ -39,6 +41,11 @@ struct MarkShared {
   /// DF: mark only the immediate out-neighbours.
   bool traverse = false;
   FaultInjector* fault = nullptr;
+  /// Worklist scheduling: marks enqueue the vertex onto its owner's
+  /// dirty ring (the seeding channel for DT/DF worklist solves).
+  WorklistScheduler* worklist = nullptr;
+  /// Protocol-cost counters (LFPR_STATS builds; ignored otherwise).
+  ProtocolCounters* stats = nullptr;
 };
 
 /// Runs the initial-marking phase on the calling worker thread. Returns

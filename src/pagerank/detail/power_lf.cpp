@@ -1,12 +1,14 @@
 #include "pagerank/detail/power_lf.hpp"
 
 #include <atomic>
+#include <memory>
 
 #include "pagerank/atomics.hpp"
 #include "pagerank/detail/common.hpp"
 #include "pagerank/detail/lf_iterate.hpp"
 #include "sched/chunk_cursor.hpp"
 #include "sched/thread_team.hpp"
+#include "sched/work_ring.hpp"
 #include "util/timer.hpp"
 
 namespace lfpr::detail {
@@ -36,6 +38,14 @@ PageRankResult powerIterateLF(const CsrGraph& g, std::vector<double> init,
   std::atomic<bool> allConverged{false};
   std::atomic<int> maxRound{0};
   std::atomic<std::uint64_t> rankUpdates{0};
+  ProtocolCounters counters;
+
+  // Static/ND worklist solves start all-dirty: round 0 is a dense seeding
+  // sweep whose marks populate the rings (see lf_iterate.cpp).
+  std::unique_ptr<WorklistScheduler> worklist;
+  if (resolved.scheduling == SchedulingMode::Worklist)
+    worklist = std::make_unique<WorklistScheduler>(n, team.size(),
+                                                   /*seedSweep=*/true);
 
   const LfShared shared{g,
                         pull,
@@ -49,7 +59,9 @@ PageRankResult powerIterateLF(const CsrGraph& g, std::vector<double> init,
                         maxRound,
                         rankUpdates,
                         resolved,
-                        fault};
+                        fault,
+                        worklist.get(),
+                        &counters};
   const Stopwatch timer;
   team.run([&](int tid) {
     if (fault != nullptr && fault->crashed(tid)) return;
@@ -66,6 +78,8 @@ PageRankResult powerIterateLF(const CsrGraph& g, std::vector<double> init,
   result.iterations = maxRound.load();
   result.rankUpdates = rankUpdates.load();
   result.ranks = ranks.toVector();
+  result.protocolStats = counters.snapshot();
+  if (worklist) result.protocolStats.ringPushes = worklist->pushes();
   return result;
 }
 

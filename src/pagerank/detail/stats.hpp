@@ -1,0 +1,45 @@
+// Cross-thread protocol-cost accumulators behind the LFPR_STATS compile
+// option (CMake -DLFPR_STATS=ON, propagated as a PUBLIC define so every
+// translation unit agrees). The LFPR_COUNT macro compiles to nothing in
+// normal builds — the counters must never perturb the hot paths they are
+// meant to diagnose; in stats builds each site is one relaxed fetch_add
+// on a shared cache line, cheap enough for bench diagnostics.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "pagerank/options.hpp"
+
+namespace lfpr::detail {
+
+struct ProtocolCounters {
+  std::atomic<std::uint64_t> rankPublishes{0};
+  std::atomic<std::uint64_t> rePulls{0};
+  std::atomic<std::uint64_t> flagRmws{0};
+
+  /// Snapshot into the result struct (ring pushes are counted by the
+  /// WorklistScheduler and merged in by the engine).
+  [[nodiscard]] ProtocolStats snapshot() const noexcept {
+    ProtocolStats s;
+    s.rankPublishes = rankPublishes.load(std::memory_order_relaxed);
+    s.rePulls = rePulls.load(std::memory_order_relaxed);
+    s.flagRmws = flagRmws.load(std::memory_order_relaxed);
+    return s;
+  }
+};
+
+#if defined(LFPR_STATS)
+#define LFPR_COUNT(counters, field, n)                                   \
+  do {                                                                   \
+    if ((counters) != nullptr)                                           \
+      (counters)->field.fetch_add((n), std::memory_order_relaxed);       \
+  } while (0)
+#else
+#define LFPR_COUNT(counters, field, n) \
+  do {                                 \
+    (void)(counters);                  \
+  } while (0)
+#endif
+
+}  // namespace lfpr::detail

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 #include <vector>
 
@@ -12,6 +13,7 @@
 #include "pagerank/detail/lf_iterate.hpp"
 #include "pagerank/detail/marking.hpp"
 #include "sched/chunk_cursor.hpp"
+#include "sched/work_ring.hpp"
 #include "util/timer.hpp"
 
 namespace lfpr::omp {
@@ -100,6 +102,12 @@ PageRankResult ompPowerLF(const CsrGraph& g, std::vector<double> init,
   std::atomic<bool> allConverged{false};
   std::atomic<int> maxRound{0};
   std::atomic<std::uint64_t> rankUpdates{0};
+  detail::ProtocolCounters counters;
+
+  std::unique_ptr<WorklistScheduler> worklist;
+  if (resolved.scheduling == SchedulingMode::Worklist)
+    worklist = std::make_unique<WorklistScheduler>(n, numThreads,
+                                                   /*seedSweep=*/true);
 
   const detail::LfShared shared{g,
                                 pull,
@@ -113,7 +121,9 @@ PageRankResult ompPowerLF(const CsrGraph& g, std::vector<double> init,
                                 maxRound,
                                 rankUpdates,
                                 resolved,
-                                nullptr};
+                                nullptr,
+                                worklist.get(),
+                                &counters};
   const Stopwatch timer;
 #pragma omp parallel num_threads(numThreads)
   {
@@ -129,6 +139,8 @@ PageRankResult ompPowerLF(const CsrGraph& g, std::vector<double> init,
   result.iterations = maxRound.load();
   result.rankUpdates = rankUpdates.load();
   result.ranks = ranks.toVector();
+  result.protocolStats = counters.snapshot();
+  if (worklist) result.protocolStats.ringPushes = worklist->pushes();
   return result;
 }
 
@@ -221,6 +233,12 @@ PageRankResult dfLF(const CsrGraph& prev, const CsrGraph& curr, const BatchUpdat
   std::atomic<bool> allConverged{false};
   std::atomic<int> maxRound{0};
   std::atomic<std::uint64_t> rankUpdates{0};
+  detail::ProtocolCounters counters;
+
+  std::unique_ptr<WorklistScheduler> worklist;
+  if (resolved.scheduling == SchedulingMode::Worklist)
+    worklist = std::make_unique<WorklistScheduler>(n, numThreads,
+                                                   /*seedSweep=*/false);
 
   const detail::LfShared iterate{curr,
                                  pull,
@@ -234,14 +252,17 @@ PageRankResult dfLF(const CsrGraph& prev, const CsrGraph& curr, const BatchUpdat
                                  maxRound,
                                  rankUpdates,
                                  resolved,
-                                 nullptr};
+                                 nullptr,
+                                 worklist.get(),
+                                 &counters};
   const Stopwatch timer;
 #pragma omp parallel num_threads(numThreads)
   {
     const int tid = omp_get_thread_num();
     const detail::MarkShared mark{prev,       curr,         edges,   checked,
                                   affected,   notConverged, nullptr, resolved.chunkSize,
-                                  markCursor, false,        nullptr};
+                                  markCursor, false,        nullptr, worklist.get(),
+                                  &counters};
     detail::markAffectedWorker(mark, tid);
     detail::lfIterateWorker(iterate, tid);
   }
@@ -256,6 +277,8 @@ PageRankResult dfLF(const CsrGraph& prev, const CsrGraph& curr, const BatchUpdat
   result.rankUpdates = rankUpdates.load();
   result.affectedVertices = affected.countNonZero();
   result.ranks = ranks.toVector();
+  result.protocolStats = counters.snapshot();
+  if (worklist) result.protocolStats.ringPushes = worklist->pushes();
   return result;
 }
 

@@ -12,6 +12,23 @@
 
 namespace lfpr {
 
+/// How the lock-free engines find the vertices that still need work.
+enum class SchedulingMode : int {
+  /// Dense scan: workers sweep the whole vertex range in dynamic chunks
+  /// each round, filtered by the affected / notConverged flags. Cost per
+  /// iteration is O(|V|) regardless of how small the dirty set is — the
+  /// right default for static solves and large batches.
+  Chunked,
+  /// Sparse frontier: per-thread dirty-vertex rings (sched/work_ring.hpp)
+  /// drive the iteration, so cost per iteration is O(frontier + touched
+  /// edges). Opt-in; wins when a batch dirties a small fraction of the
+  /// graph (see the README scheduling-modes section for the crossover).
+  /// LF engines only — the barrier-based engines ignore it. Takes
+  /// precedence over `staticSchedule`; `perChunkConvergence` is ignored
+  /// (convergence is detected on the per-vertex flags).
+  Worklist,
+};
+
 /// Memory layout the rank-pull kernel reads the in-adjacency from.
 enum class PullLayout : int {
   /// The snapshot's CSR in-lists plus the per-source contribution cache
@@ -47,9 +64,37 @@ struct PageRankOptions {
   bool staticSchedule = false;
   /// In-adjacency layout for the rank-pull kernel (see PullLayout).
   PullLayout pullLayout = PullLayout::Csr;
+  /// Work-discovery scheme for the lock-free engines (see SchedulingMode).
+  SchedulingMode scheduling = SchedulingMode::Chunked;
   /// BB engines: how long a thread may wait at a barrier before the run
   /// is declared dead (crash-stop deadlock detection).
   std::chrono::milliseconds barrierTimeout{60'000};
+};
+
+/// True when the library was built with -DLFPR_STATS=ON and the
+/// PageRankResult::protocolStats counters below are populated.
+inline constexpr bool protocolStatsEnabled() noexcept {
+#if defined(LFPR_STATS)
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// Protocol-cost counters for the lock-free engines, so publish-protocol
+/// costs are diagnosable without perf tools. Counted only when the
+/// LFPR_STATS compile option is on (the fields always exist so the ABI
+/// does not depend on the option); all-zero otherwise, and always zero
+/// for the barrier-based engines.
+struct ProtocolStats {
+  /// Rank stores/exchanges published to the shared rank vector.
+  std::uint64_t rankPublishes = 0;
+  /// Clear-then-reverify re-pulls (termination protocol part 1).
+  std::uint64_t rePulls = 0;
+  /// RMWs on the notConverged / chunk flags (marks and clears).
+  std::uint64_t flagRmws = 0;
+  /// Successful dirty-vertex ring pushes (Worklist scheduling only).
+  std::uint64_t ringPushes = 0;
 };
 
 struct PageRankResult {
@@ -69,6 +114,8 @@ struct PageRankResult {
   std::uint64_t rankUpdates = 0;
   /// Vertices marked affected (DF/DT engines).
   std::uint64_t affectedVertices = 0;
+  /// See ProtocolStats — populated only in LFPR_STATS builds.
+  ProtocolStats protocolStats;
 };
 
 enum class Approach : int {

@@ -1,0 +1,261 @@
+// Sparse-frontier worklist scheduling (SchedulingMode::Worklist).
+//
+// The dense scheduler (chunk_cursor.hpp) makes every iteration of a
+// lock-free engine cost O(|V|): workers sweep all vertices and filter by
+// the affected / notConverged flags. When a temporal batch dirties a few
+// hundred vertices that sweep dominates the solve. The worklist replaces
+// it with per-thread dirty-vertex rings, so an iteration costs
+// O(frontier + touched edges):
+//
+//   * vertices are partitioned into contiguous ownership blocks, one per
+//     worker thread;
+//   * whoever marks a vertex "not yet converged" also enqueues it onto
+//     its owner's ring (deduplicated through a per-vertex `queued` flag,
+//     so each vertex has at most one in-flight ring entry);
+//   * the owner drains its own ring instead of sweeping the vertex range.
+//
+// The rings are an *accelerator*, never the authority: the notConverged
+// flags of the termination protocol (lf_iterate.cpp) still decide
+// convergence, and an owner whose ring runs dry reconciles its partition
+// against the flags before declaring itself quiescent. A lost enqueue
+// (crashed marker, the benign pop/queued race below, or a full ring)
+// therefore delays a vertex at worst until the owner's next reconcile
+// sweep — it can never fake convergence.
+//
+// WorkRing is a bounded MPMC ring in the classic per-cell sequence-number
+// style: each cell carries an epoch that producers and consumers validate
+// with acquire/release before touching the payload, which is exactly the
+// hand-off point where the worklist keeps its protocol-bearing ordering
+// (see the publish-diet note in lf_iterate.cpp). Capacity is sized to the
+// ownership block, and the `queued` dedup guarantees at most one live
+// entry per owned vertex, so a push onto the owner's ring cannot fail in
+// practice; tryPush still reports overflow and enqueue() falls back to
+// flags-only marking for safety.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "pagerank/atomics.hpp"
+
+namespace lfpr {
+
+/// Bounded MPMC ring of vertex ids with per-cell epoch validation
+/// (Vyukov-style). Producers and consumers never block: a push fails only
+/// when the ring is full, a pop only when it is empty.
+class WorkRing {
+ public:
+  explicit WorkRing(std::size_t minCapacity)
+      : cells_(roundUpPow2(minCapacity)), mask_(cells_.size() - 1) {
+    for (std::size_t i = 0; i < cells_.size(); ++i)
+      cells_[i].epoch.store(i, std::memory_order_relaxed);
+  }
+
+  WorkRing(const WorkRing&) = delete;
+  WorkRing& operator=(const WorkRing&) = delete;
+
+  /// Publish v at the tail. The release store of the cell epoch is the
+  /// producer half of the hand-off: a consumer that validates the epoch
+  /// with acquire observes every write (rank publishes included) that
+  /// preceded the push.
+  bool tryPush(VertexId v) noexcept {
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::size_t epoch = cell.epoch.load(std::memory_order_acquire);
+      const auto d = static_cast<std::ptrdiff_t>(epoch) - static_cast<std::ptrdiff_t>(pos);
+      if (d == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+          cell.value = v;
+          cell.epoch.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (d < 0) {
+        return false;  // full: the cell still holds an unconsumed entry
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Claim the entry at the head; false when the ring is empty.
+  bool tryPop(VertexId& v) noexcept {
+    std::size_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::size_t epoch = cell.epoch.load(std::memory_order_acquire);
+      const auto d =
+          static_cast<std::ptrdiff_t>(epoch) - static_cast<std::ptrdiff_t>(pos + 1);
+      if (d == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+          v = cell.value;
+          cell.epoch.store(pos + cells_.size(), std::memory_order_release);
+          return true;
+        }
+      } else if (d < 0) {
+        return false;  // empty (or the producer has claimed but not published)
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Approximate emptiness (exact once producers are quiescent).
+  [[nodiscard]] bool empty() const noexcept {
+    return head_.load(std::memory_order_acquire) >=
+           tail_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return cells_.size(); }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> epoch{0};
+    VertexId value = 0;
+  };
+
+  static std::size_t roundUpPow2(std::size_t x) noexcept {
+    std::size_t p = 1;
+    while (p < x) p <<= 1;
+    return p < 2 ? 2 : p;
+  }
+
+  std::vector<Cell> cells_;
+  std::size_t mask_;
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
+};
+
+/// Per-thread dirty-vertex rings plus the ownership map and the
+/// per-vertex dedup flags. One instance per solve, shared by all workers.
+class WorklistScheduler {
+ public:
+  /// `seedSweep`: Static/ND engines start with every vertex dirty, so
+  /// the workers begin in the dense phase (full-protocol chunked sweeps
+  /// whose marks populate the rings) until the frontier is sparse —
+  /// see sparse() below. DT/DF engines seed the rings from the
+  /// batch-marking phase and start sparse.
+  WorklistScheduler(std::size_t numVertices, int numThreads, bool seedSweep)
+      : n_(numVertices),
+        threads_(numThreads < 1 ? 1 : numThreads),
+        per_((numVertices + static_cast<std::size_t>(threads_) - 1) /
+             static_cast<std::size_t>(threads_)),
+        queued_(numVertices, 0),
+        sparse_(!seedSweep) {
+    if (per_ == 0) per_ = 1;
+    for (int t = 0; t < threads_; ++t) {
+      const std::size_t owned = ownedEnd(t) - ownedBegin(t);
+      rings_.emplace_back(owned + 1);
+    }
+  }
+
+  [[nodiscard]] int numThreads() const noexcept { return threads_; }
+
+  /// Hybrid dense/sparse switch. A solve that starts all-dirty
+  /// (Static/ND: seedSweep) gains nothing from rings until most vertices
+  /// have converged — ring-driven partition ownership would just iterate
+  /// each partition to a local fixpoint against stale foreign ranks. So
+  /// dense-start solves sweep through the shared chunk pool like the
+  /// dense scheduler and flip to ring-driven processing once the dirty
+  /// set falls below |V|/8 (one-way; the marks made during the dense
+  /// sweeps have been seeding the rings all along). Batch-seeded solves
+  /// (DT/DF) start sparse.
+  [[nodiscard]] bool sparse() const noexcept {
+    return sparse_.load(std::memory_order_relaxed);
+  }
+  void observeDensity(std::uint64_t dirtyCount) noexcept {
+    if (dirtyCount * 8 < static_cast<std::uint64_t>(n_) || n_ < 8)
+      sparse_.store(true, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] int owner(std::size_t v) const noexcept {
+    const auto t = static_cast<int>(v / per_);
+    return t < threads_ ? t : threads_ - 1;
+  }
+  [[nodiscard]] std::size_t ownedBegin(int tid) const noexcept {
+    const std::size_t b = static_cast<std::size_t>(tid) * per_;
+    return b < n_ ? b : n_;
+  }
+  [[nodiscard]] std::size_t ownedEnd(int tid) const noexcept {
+    if (tid == threads_ - 1) return n_;
+    const std::size_t e = (static_cast<std::size_t>(tid) + 1) * per_;
+    return e < n_ ? e : n_;
+  }
+
+  /// Hand a marked vertex to its owner. Deduplicated: at most one
+  /// in-flight ring entry per vertex, so the owner-sized rings cannot
+  /// overflow under the protocol; if a push is ever refused anyway the
+  /// vertex stays flags-only and the owner's reconcile sweep finds it.
+  void enqueue(std::size_t v) noexcept {
+    if (queued_.fetchOr(v, 1, std::memory_order_relaxed) != 0) return;
+    if (!rings_[static_cast<std::size_t>(owner(v))].tryPush(
+            static_cast<VertexId>(v))) {
+      queued_.store(v, 0);
+      return;
+    }
+#if defined(LFPR_STATS)
+    pushes_.fetch_add(1, std::memory_order_relaxed);
+#endif
+  }
+
+  /// Pop from this thread's own ring. Clears the dedup flag *before* the
+  /// caller processes the vertex, so a concurrent re-mark re-enqueues it.
+  /// (A marker can still read the stale `queued` byte and skip its push;
+  /// the vertex then sits flags-only until the owner reconciles — benign,
+  /// because the flags stay authoritative.)
+  bool tryPop(int tid, VertexId& v) noexcept {
+    if (!rings_[static_cast<std::size_t>(tid)].tryPop(v)) return false;
+    queued_.store(v, 0);
+    return true;
+  }
+
+  /// Drain any ring (crash recovery under fault injection: an orphaned
+  /// ring's owner is gone, so survivors steal its entries).
+  bool trySteal(int tid, VertexId& v) noexcept {
+    for (int i = 0; i < threads_; ++i) {
+      const int t = (tid + i) % threads_;
+      if (rings_[static_cast<std::size_t>(t)].tryPop(v)) {
+        queued_.store(v, 0);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Total successful ring pushes (protocol-cost diagnostics; counted
+  /// only in LFPR_STATS builds, zero otherwise).
+  [[nodiscard]] std::uint64_t pushes() const noexcept {
+    return pushes_.load(std::memory_order_relaxed);
+  }
+
+  /// Global progress heartbeat: workers bump it whenever they process
+  /// vertices. A personally-quiescent worker that sees it advance across
+  /// a yield leaves the remaining dirt to the thread working on it —
+  /// helping a *healthy* owner means two publishers fighting over one
+  /// partition at context-switch granularity, each quantum boundary
+  /// re-injecting a stale publish, which can sustain the frontier
+  /// indefinitely. Only stalled (crashed / exited / capped-out) dirt is
+  /// taken over.
+  void noteProgress(std::uint64_t processed) noexcept {
+    progress_.fetch_add(processed, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t progress() const noexcept {
+    return progress_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::size_t n_;
+  int threads_;
+  std::size_t per_;
+  AtomicU8Vector queued_;
+  std::deque<WorkRing> rings_;
+  std::atomic<bool> sparse_{false};
+  std::atomic<std::uint64_t> pushes_{0};
+  alignas(64) std::atomic<std::uint64_t> progress_{0};
+};
+
+}  // namespace lfpr

@@ -72,6 +72,22 @@ TEST(OmpEngines, DfEnginesMatchReference) {
   EXPECT_GT(lf.affectedVertices, 0u);
 }
 
+TEST(OmpEngines, WorklistSchedulingMatchesReference) {
+  // The OpenMP LF engines share lfIterateWorker, so the worklist rings +
+  // publish diet must behave identically inside an omp parallel region.
+  const auto scenario = makeOmpScenario(7);
+  const auto ref = referenceRanks(scenario.curr);
+  auto opt = testOptions();
+  opt.scheduling = SchedulingMode::Worklist;
+  const auto lfStatic = omp::staticLF(scenario.curr, opt);
+  const auto lfDf = omp::dfLF(scenario.prev, scenario.curr, scenario.batch,
+                              scenario.prevRanks, opt);
+  ASSERT_TRUE(lfStatic.converged);
+  ASSERT_TRUE(lfDf.converged);
+  EXPECT_LT(linfNorm(lfStatic.ranks, ref), 1e-6);
+  EXPECT_LT(linfNorm(lfDf.ranks, ref), 1e-6);
+}
+
 TEST(OmpEngines, DfBBMatchesNativeDfBB) {
   // Same synchronous algorithm on two runtimes. Frontier expansion races
   // benignly within an iteration, so converged ranks (not the bitwise
