@@ -1,0 +1,226 @@
+// RankService under mixed ingest + query load (PR 6): one service
+// instance ingests a stream of edge batches while reader threads hammer
+// the snapshot API. Reports, per repetition:
+//
+//   ingest throughput   edges/s from first submit to drained queue
+//                       (includes solve + publish time — the service's
+//                       end-to-end rate, not the raw queue rate)
+//   query latency       p50 / p99 ns for acquire-snapshot + rank lookup
+//                       on the reader threads (wait-free path)
+//   rank staleness      age of the published snapshot and the pending
+//                       batch/edge backlog sampled during ingest
+//
+// With --json PATH the numbers are additionally written as a
+// google-benchmark-compatible document (one entry per repetition under
+// the same name; scripts/compare_bench.py reduces repetitions via
+// min-of-repetitions — max items/s, min p50_ns/p99_ns) so the CI
+// perf-smoke gate can regression-check the service exactly like the
+// micro-kernels.
+//
+//   ./bench_service [--json out.json]
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "generate/batch_gen.hpp"
+#include "service/rank_service.hpp"
+#include "util/rng.hpp"
+
+using namespace lfpr;
+
+namespace {
+
+constexpr int kReaderThreads = 2;
+constexpr int kNumBatches = 16;
+
+double percentileNs(std::vector<double>& samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double idx = p / 100.0 * static_cast<double>(samples.size() - 1);
+  return samples[static_cast<std::size_t>(idx)];
+}
+
+struct MixedLoadResult {
+  double ingestMs = 0.0;
+  double edgesPerSec = 0.0;
+  std::uint64_t edges = 0;
+  std::uint64_t queries = 0;
+  double queriesPerSec = 0.0;
+  double p50Ns = 0.0;
+  double p99Ns = 0.0;
+  double meanAgeMs = 0.0;
+  double maxAgeMs = 0.0;
+  double maxPendingBatches = 0.0;
+  std::uint64_t publishes = 0;
+};
+
+MixedLoadResult runMixedLoad(const CsrGraph& initial,
+                             const bench::BenchConfig& cfg,
+                             std::size_t batchEdges, std::uint64_t seed) {
+  ServiceOptions sopt;
+  sopt.solver = bench::benchOptions(cfg, initial.numVertices());
+  RankService service(initial, sopt);
+  service.waitForEpoch(1);
+
+  std::atomic<bool> stopReaders{false};
+  std::vector<std::vector<double>> latencies(kReaderThreads);
+  std::vector<std::thread> readers;
+  readers.reserve(kReaderThreads);
+  for (int t = 0; t < kReaderThreads; ++t) {
+    readers.emplace_back([&, t] {
+      Rng rng(seed + 1000 + static_cast<std::uint64_t>(t));
+      auto& mine = latencies[static_cast<std::size_t>(t)];
+      mine.reserve(1 << 16);
+      const auto n = service.numVertices();
+      while (!stopReaders.load(std::memory_order_relaxed)) {
+        const auto v = static_cast<VertexId>(rng() % n);
+        const Stopwatch sw;
+        {
+          const SnapshotView snap = service.snapshot();
+          volatile double r = snap->rank(v);
+          (void)r;
+        }
+        mine.push_back(sw.elapsedMs() * 1e6);  // ns
+        std::this_thread::yield();
+      }
+    });
+  }
+
+  // Batches come from an offline twin so the generator sees the graph
+  // exactly as the service will after each batch lands.
+  auto offline = DynamicDigraph::fromCsr(initial);
+  offline.ensureSelfLoops();
+  Rng rng(seed);
+  MixedLoadResult out;
+  double ageSum = 0.0;
+  std::size_t ageSamples = 0;
+
+  const Stopwatch ingestTimer;
+  for (int b = 0; b < kNumBatches; ++b) {
+    auto batch = generateBatch(offline, batchEdges, rng);
+    offline.applyBatch(batch);
+    out.edges += batch.size();
+    service.submit(std::move(batch));
+    const Staleness st = service.staleness();
+    ageSum += st.ageMs;
+    ++ageSamples;
+    out.maxAgeMs = std::max(out.maxAgeMs, st.ageMs);
+    out.maxPendingBatches =
+        std::max(out.maxPendingBatches, static_cast<double>(st.pendingBatches));
+  }
+  service.waitIdle();
+  out.ingestMs = ingestTimer.elapsedMs();
+
+  stopReaders.store(true);
+  for (auto& r : readers) r.join();
+  service.stop();
+
+  std::vector<double> all;
+  for (auto& per : latencies) all.insert(all.end(), per.begin(), per.end());
+  out.queries = all.size();
+  out.p50Ns = percentileNs(all, 50.0);
+  out.p99Ns = percentileNs(all, 99.0);
+  out.edgesPerSec = out.ingestMs > 0.0 ? out.edges / (out.ingestMs / 1e3) : 0.0;
+  out.queriesPerSec =
+      out.ingestMs > 0.0 ? out.queries / (out.ingestMs / 1e3) : 0.0;
+  out.meanAgeMs = ageSamples > 0 ? ageSum / static_cast<double>(ageSamples) : 0.0;
+  out.publishes = service.stats().publishes;
+  return out;
+}
+
+void appendEntry(std::string& json, const char* name, int repetition,
+                 int repetitions, double realTimeNs,
+                 const std::string& extraFields) {
+  char buf[768];
+  std::snprintf(buf, sizeof(buf),
+                "    {\"name\": \"%s\", \"run_name\": \"%s\", "
+                "\"run_type\": \"iteration\", \"repetitions\": %d, "
+                "\"repetition_index\": %d, \"iterations\": 1, "
+                "\"real_time\": %.1f, \"cpu_time\": %.1f, "
+                "\"time_unit\": \"ns\"%s%s}",
+                name, name, repetitions, repetition, realTimeNs, realTimeNs,
+                extraFields.empty() ? "" : ", ", extraFields.c_str());
+  if (!json.empty()) json += ",\n";
+  json += buf;
+}
+
+std::string field(const char* key, double value) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "\"%s\": %.6g", key, value);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string jsonPath;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+      jsonPath = argv[++i];
+  }
+
+  const bench::BenchConfig cfg;
+  bench::printHeader(
+      "RankService: mixed ingest + query load",
+      "query latency stays flat (wait-free snapshot reads) while the "
+      "service sustains batch ingest; staleness bounded by solve time",
+      cfg);
+
+  const auto spec = representativeDatasets(cfg.scale).front();
+  auto base = bench::loadGraph(spec, cfg);
+  const auto initial = base.toCsr();
+  const std::size_t batchEdges = std::max<std::size_t>(
+      64, static_cast<std::size_t>(initial.numEdges()) / 1000);
+  std::printf("dataset: %s  |V|=%u |E|=%llu  batches=%d x %zu edges, "
+              "readers=%d\n\n",
+              spec.name.c_str(), initial.numVertices(),
+              static_cast<unsigned long long>(initial.numEdges()), kNumBatches,
+              batchEdges, kReaderThreads);
+
+  Table table({"repetition", "ingest_Medges/s", "query_p50_us", "query_p99_us",
+               "staleness_mean_ms", "staleness_max_ms", "publishes"});
+  std::string entries;
+  for (int rep = 0; rep < cfg.repeats; ++rep) {
+    const auto r = runMixedLoad(initial, cfg, batchEdges,
+                                900 + static_cast<std::uint64_t>(rep));
+    table.addRow({Table::count(static_cast<std::uint64_t>(rep)),
+                  Table::num(r.edgesPerSec / 1e6, 3),
+                  Table::num(r.p50Ns / 1e3, 2), Table::num(r.p99Ns / 1e3, 2),
+                  Table::num(r.meanAgeMs, 2), Table::num(r.maxAgeMs, 2),
+                  Table::count(r.publishes)});
+
+    appendEntry(entries, "BM_ServiceIngest", rep, cfg.repeats,
+                r.ingestMs * 1e6,
+                field("items_per_second", r.edgesPerSec));
+    appendEntry(entries, "BM_ServiceQuery", rep, cfg.repeats, r.p50Ns,
+                field("items_per_second", r.queriesPerSec) + ", " +
+                    field("p50_ns", r.p50Ns) + ", " + field("p99_ns", r.p99Ns));
+    appendEntry(entries, "BM_ServiceStaleness", rep, cfg.repeats,
+                r.meanAgeMs * 1e6,
+                field("mean_age_ms", r.meanAgeMs) + ", " +
+                    field("max_age_ms", r.maxAgeMs) + ", " +
+                    field("max_pending_batches", r.maxPendingBatches));
+  }
+  table.print(std::cout);
+
+  if (!jsonPath.empty()) {
+    std::FILE* f = std::fopen(jsonPath.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", jsonPath.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n  \"context\": {\"executable\": \"bench_service\", "
+                 "\"scale\": %d, \"threads\": %d, \"repeats\": %d},\n"
+                 "  \"benchmarks\": [\n%s\n  ]\n}\n",
+                 cfg.scale, cfg.threads, cfg.repeats, entries.c_str());
+    std::fclose(f);
+    std::printf("\nwrote %s\n", jsonPath.c_str());
+  }
+  return 0;
+}

@@ -1,9 +1,18 @@
-// Fault-tolerant ranking service scenario (Sections 5.3/5.4): a service
-// keeps PageRank fresh on a churning graph while its worker threads
-// suffer random delays and crash-stop failures — the "mercurial cores"
-// setting that motivates the lock-free design. The barrier-based engine
-// deadlocks (reported as DNF by the barrier timeout) while DFLF keeps
-// serving correct results.
+// Fault-tolerant ranking service (Sections 5.3/5.4), now through the
+// RankService front door: a resident engine keeps PageRank fresh on a
+// churning graph while its worker threads suffer random delays and
+// crash-stop failures — the "mercurial cores" setting that motivates
+// the lock-free design.
+//
+// What the service layer adds over the one-shot engines:
+//
+//   - readers query topK/staleness concurrently with ingest and always
+//     see one consistent published epoch with its §4.5 certificate;
+//   - a crashed solve is never published: readers keep the previous
+//     epoch while the service re-solves (service-level recovery on top
+//     of PR 5's intra-solve takeover);
+//   - the barrier-based engine has no recovery story at all — shown
+//     last with a one-shot dfBB for contrast.
 //
 //   ./fault_tolerant_service
 #include <cstdio>
@@ -12,9 +21,23 @@
 #include "generate/generators.hpp"
 #include "graph/dynamic_digraph.hpp"
 #include "pagerank/pagerank.hpp"
+#include "service/rank_service.hpp"
 #include "util/rng.hpp"
 
 using namespace lfpr;
+
+namespace {
+
+void printTop(const RankService& service, std::size_t k) {
+  const SnapshotView snap = service.snapshot();
+  std::printf("  epoch %llu (certificate %.1e): top-%zu =",
+              static_cast<unsigned long long>(snap->epoch),
+              snap->toleranceBound, k);
+  for (const auto& [v, r] : snap->topK(k)) std::printf(" %u(%.2e)", v, r);
+  std::printf("\n");
+}
+
+}  // namespace
 
 int main() {
   Rng rng(11);
@@ -23,58 +46,94 @@ int main() {
   appendSelfLoops(edges, kVertices);
   auto graph = DynamicDigraph::fromEdges(kVertices, edges);
 
-  PageRankOptions opt;
-  opt.numThreads = 8;
-  opt.barrierTimeout = std::chrono::milliseconds(1000);
+  ServiceOptions sopt;
+  sopt.solver.numThreads = 8;
+  sopt.solver.barrierTimeout = std::chrono::milliseconds(1000);
 
-  auto snapshot = graph.toCsr();
-  // High-precision warm ranks keep the Dynamic Frontier noise-free.
-  PageRankOptions warm = opt;
-  warm.tolerance = 1e-15;
-  auto ranks = staticBB(snapshot, warm).ranks;
+  // Fault schedule, keyed by solve index (0 = the initial full solve):
+  //   solve 1: random delays — a thread sleeps 10 ms after a vertex
+  //            update with probability 1e-4 (soft faults: contention,
+  //            page faults, thermal throttling);
+  //   solve 2: crash-stop — half the team dies mid-computation (hard
+  //            faults: mercurial cores, killed threads); the PR 5
+  //            takeover protocol finishes the step anyway;
+  //   solve 3: crash-stop so early the step cannot converge — the
+  //            service refuses to publish, recovers with a full
+  //            re-solve, and readers never see the failed attempt.
+  sopt.faultFactory = [&](std::uint64_t solveIndex)
+      -> std::unique_ptr<FaultInjector> {
+    if (solveIndex == 1) {
+      FaultConfig cfg;
+      cfg.delayProbability = 1e-4;
+      cfg.delayDuration = std::chrono::milliseconds(10);
+      return std::make_unique<FaultInjector>(sopt.solver.numThreads, cfg);
+    }
+    if (solveIndex == 2) {
+      const auto cfg = makeCrashConfig(sopt.solver.numThreads,
+                                       sopt.solver.numThreads / 2,
+                                       /*minUpdates=*/10, /*maxUpdates=*/2000,
+                                       /*seed=*/3);
+      return std::make_unique<FaultInjector>(sopt.solver.numThreads, cfg);
+    }
+    if (solveIndex == 3) {
+      const auto cfg = makeCrashConfig(sopt.solver.numThreads,
+                                       sopt.solver.numThreads,
+                                       /*minUpdates=*/1, /*maxUpdates=*/8,
+                                       /*seed=*/5);
+      return std::make_unique<FaultInjector>(sopt.solver.numThreads, cfg);
+    }
+    return nullptr;
+  };
+  sopt.onRecovery = [](std::uint64_t solveIndex, int attempt, bool recovered) {
+    std::printf("  [recovery] solve %llu attempt %d: %s\n",
+                static_cast<unsigned long long>(solveIndex), attempt,
+                recovered ? "re-solve converged" : "re-solve failed too");
+  };
 
-  const auto batch = generateBatch(graph, 200, rng);
-  graph.applyBatch(batch);
-  const auto updated = graph.toCsr();
-  const auto clean = dfLF(snapshot, updated, batch, ranks, opt);
-  std::printf("healthy run:   DFLF %.1f ms, converged=%s\n", clean.timeMs,
-              clean.converged ? "yes" : "no");
+  RankService service(graph.toCsr(), sopt);
+  service.waitForEpoch(1);
+  std::printf("initial solve published:\n");
+  printTop(service, 3);
 
-  // --- Random delays: a thread sleeps 10 ms after a vertex update with
-  //     probability 1e-4 (soft faults: contention, page faults, thermal
-  //     throttling).
-  {
-    FaultConfig cfg;
-    cfg.delayProbability = 1e-4;
-    cfg.delayDuration = std::chrono::milliseconds(10);
-    FaultInjector fault(opt.numThreads, cfg);
-    const auto r = dfLF(snapshot, updated, batch, ranks, opt, &fault);
-    std::printf(
-        "random delays: DFLF %.1f ms, converged=%s, %llu sleeps injected, "
-        "drift vs healthy %.1e\n",
-        r.timeMs, r.converged ? "yes" : "no",
-        static_cast<unsigned long long>(fault.delaysInjected()),
-        linfNorm(r.ranks, clean.ranks));
+  const char* labels[] = {"random delays", "crash half the team",
+                          "crash everyone early"};
+  for (int step = 0; step < 3; ++step) {
+    auto batch = generateBatch(graph, 200, rng);
+    graph.applyBatch(batch);
+    service.submit(std::move(batch));
+    service.waitIdle();
+    const auto st = service.staleness();
+    std::printf("%s:\n  pending after solve: %llu batches (%s)\n",
+                labels[step],
+                static_cast<unsigned long long>(st.pendingBatches),
+                st.pendingBatches == 0 ? "published" : "held back, not published");
+    printTop(service, 3);
   }
 
-  // --- Crash-stop: half the team dies mid-computation (hard faults:
-  //     mercurial cores, killed threads).
-  {
-    const auto cfg = makeCrashConfig(opt.numThreads, opt.numThreads / 2,
-                                     /*minUpdates=*/10, /*maxUpdates=*/2000,
-                                     /*seed=*/3);
-    FaultInjector fault(opt.numThreads, cfg);
-    const auto r = dfLF(snapshot, updated, batch, ranks, opt, &fault);
-    std::printf(
-        "crash-stop:    DFLF %.1f ms, converged=%s, %d/%d threads crashed, "
-        "drift vs healthy %.1e\n",
-        r.timeMs, r.converged ? "yes" : "no", fault.numCrashed(), opt.numThreads,
-        linfNorm(r.ranks, clean.ranks));
-  }
+  const auto stats = service.stats();
+  std::printf(
+      "service stats: %llu publishes, %llu solves, %llu recoveries, "
+      "%llu failed steps\n",
+      static_cast<unsigned long long>(stats.publishes),
+      static_cast<unsigned long long>(stats.solves),
+      static_cast<unsigned long long>(stats.recoveries),
+      static_cast<unsigned long long>(stats.failedSteps));
+  service.drainAndStop();
 
-  // --- The same crash against the barrier-based engine: it cannot finish;
-  //     the instrumented barrier reports DNF instead of hanging forever.
+  // --- The same crash against the one-shot barrier-based engine: it
+  //     cannot finish; the instrumented barrier reports DNF instead of
+  //     hanging forever. This is why the service layer is built on the
+  //     lock-free engine only.
   {
+    PageRankOptions opt = sopt.solver;
+    auto snapshot = graph.toCsr();
+    PageRankOptions warm = opt;
+    warm.tolerance = 1e-15;
+    auto ranks = staticBB(snapshot, warm).ranks;
+    auto batch = generateBatch(graph, 200, rng);
+    graph.applyBatch(batch);
+    const auto updated = graph.toCsr();
+
     FaultConfig cfg;
     cfg.crashAfterUpdates.assign(static_cast<std::size_t>(opt.numThreads),
                                  FaultConfig::noCrash);
@@ -82,7 +141,7 @@ int main() {
       cfg.crashAfterUpdates[t] = 2;
     FaultInjector fault(opt.numThreads, cfg);
     const auto r = dfBB(snapshot, updated, batch, ranks, opt, &fault);
-    std::printf("crash-stop:    DFBB dnf=%s (barrier-based cannot survive a "
+    std::printf("contrast:      DFBB dnf=%s (barrier-based cannot survive a "
                 "crashed thread)\n",
                 r.dnf ? "true" : "false");
   }

@@ -1,18 +1,21 @@
 // Social/interaction stream scenario (the sx-stackoverflow workload of
 // Table 1): a temporal edge stream is replayed with the paper's protocol
-// — 90% preload, then insertion-only batches — while influence scores
-// (PageRank) are maintained incrementally and the most influential users
-// are tracked over time.
+// — 90% preload, then insertion-only batches — while a RankService
+// maintains influence scores (PageRank) incrementally and the most
+// influential users are tracked over time. Each batch is submitted to
+// the resident engine; queries answer against the published epoch with
+// its §4.5 certificate, never against in-flight iteration state.
 //
 //   ./social_stream [numBatches]
-#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
 #include "generate/generators.hpp"
 #include "generate/temporal_replay.hpp"
 #include "pagerank/pagerank.hpp"
+#include "service/rank_service.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
 
 using namespace lfpr;
 
@@ -39,39 +42,41 @@ int main(int argc, char** argv) {
               replay.batches.size(),
               replay.batches.empty() ? 0 : replay.batches.front().insertions.size());
 
-  PageRankOptions opt;
-  opt.numThreads = 4;
+  ServiceOptions sopt;
+  sopt.solver.numThreads = 4;
 
-  auto graph = std::move(replay.initial);
-  auto snapshot = graph.toCsr();
-  auto ranks = staticLF(snapshot, opt).ranks;
-
-  auto topUser = [&]() {
-    return static_cast<VertexId>(
-        std::max_element(ranks.begin(), ranks.end()) - ranks.begin());
-  };
-  std::printf("after preload: most influential user = %u\n", topUser());
+  RankService service(replay.initial.toCsr(), sopt);
+  service.waitForEpoch(1);
+  {
+    const auto top = service.topK(1);
+    std::printf("after preload: most influential user = %u\n",
+                top.empty() ? 0u : top.front().first);
+  }
 
   double totalMs = 0.0;
-  std::uint64_t totalAffected = 0;
   for (std::size_t b = 0; b < replay.batches.size(); ++b) {
-    graph.applyBatch(replay.batches[b]);
-    const auto updated = graph.toCsr();
-    const auto r = dfLF(snapshot, updated, replay.batches[b], ranks, opt);
-    totalMs += r.timeMs;
-    totalAffected += r.affectedVertices;
-    ranks = r.ranks;
-    snapshot = updated;
-    std::printf("batch %zu: +%zu events, %.1f ms, affected %llu, top user %u\n",
-                b + 1, replay.batches[b].insertions.size(), r.timeMs,
-                static_cast<unsigned long long>(r.affectedVertices), topUser());
+    const std::size_t events = replay.batches[b].insertions.size();
+    const Stopwatch sw;
+    service.submit(std::move(replay.batches[b]));
+    service.waitIdle();
+    const double ms = sw.elapsedMs();
+    totalMs += ms;
+    const SnapshotView snap = service.snapshot();
+    const auto top = snap->topK(1);
+    std::printf(
+        "batch %zu: +%zu events, %.1f ms, epoch %llu (certificate %.1e), "
+        "top user %u\n",
+        b + 1, events, ms, static_cast<unsigned long long>(snap->epoch),
+        snap->toleranceBound, top.empty() ? 0u : top.front().first);
   }
   if (!replay.batches.empty()) {
-    std::printf("\nmean per batch: %.1f ms, %.0f affected of %u users\n",
+    const auto stats = service.stats();
+    std::printf("\nmean per batch: %.1f ms; %llu publishes over %llu solves, "
+                "%llu edges ingested\n",
                 totalMs / static_cast<double>(replay.batches.size()),
-                static_cast<double>(totalAffected) /
-                    static_cast<double>(replay.batches.size()),
-                graph.numVertices());
+                static_cast<unsigned long long>(stats.publishes),
+                static_cast<unsigned long long>(stats.solves),
+                static_cast<unsigned long long>(stats.edgesIngested));
   }
   return 0;
 }

@@ -12,8 +12,8 @@ in only one file are listed but not compared.
 
 Runs recorded with --benchmark_repetitions contain one entry per
 repetition under the same name; those are reduced to the
-min-of-repetitions aggregate (max items/s, min cpu_time) before
-comparing. Scale-0 micro-kernel numbers are heap-placement sensitive —
+min-of-repetitions aggregate (max items/s, min cpu_time, min
+p50_ns/p99_ns) before comparing. Scale-0 micro-kernel numbers are heap-placement sensitive —
 PR 4 measured a 1182->1351 M/s swing from malloc luck alone — and the
 fastest repetition is the run least disturbed by placement and
 scheduling noise, which is what makes the tightened CI regression floor
@@ -78,9 +78,12 @@ def load_results(path, section):
             out[name] = dict(b)
             continue
         # Repetition of an already-seen benchmark: keep the best rate /
-        # fastest time (min-of-repetitions).
+        # fastest time (min-of-repetitions). Latency percentiles (the
+        # bench_service p50_ns/p99_ns counters) reduce the same way: the
+        # lowest-percentile repetition is the least scheduler-disturbed.
         for key, better in (("items_per_second", max), ("cpu_time", min),
-                            ("real_time", min)):
+                            ("real_time", min), ("p50_ns", min),
+                            ("p99_ns", min)):
             if key in b and key in prev:
                 prev[key] = better(prev[key], b[key])
             elif key in b:
@@ -103,6 +106,15 @@ def fmt_rate(b):
     if items:
         return f"{items / 1e6:10.1f}M/s"
     return f"{b.get('cpu_time', float('nan')):10.0f}{b.get('time_unit', 'ns')}"
+
+
+def fmt_percentiles(b):
+    """Secondary latency columns for benchmarks that record them."""
+    p50, p99 = b.get("p50_ns"), b.get("p99_ns")
+    if p50 is None and p99 is None:
+        return ""
+    return (f"  p50={p50 / 1e3:.2f}us" if p50 is not None else "") + \
+           (f" p99={p99 / 1e3:.2f}us" if p99 is not None else "")
 
 
 def main():
@@ -143,7 +155,7 @@ def main():
             ratios[name] = ratio
         ratio_s = f"{ratio:7.2f}x" if ratio is not None else "      ??"
         print(f"{name:<{name_w}}  {fmt_rate(old[name]):>12} {fmt_rate(new[name]):>12} "
-              f"{ratio_s}  {basis or '-'}")
+              f"{ratio_s}  {basis or '-'}{fmt_percentiles(new[name])}")
     for name in sorted(set(old) - set(new)):
         print(f"{name:<{name_w}}  {fmt_rate(old[name]):>12} {'(gone)':>12}")
     for name in sorted(set(new) - set(old)):

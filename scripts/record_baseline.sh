@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Record a BENCH_*.json snapshot — the trajectory anchor perf PRs diff
-# against (scripts/compare_bench.py). Runs the Table-2 dataset bench and
-# the micro-kernel bench from the Release preset and wraps their output
-# plus the machine/config fingerprint into one JSON document.
+# against (scripts/compare_bench.py). Runs the Table-2 dataset bench,
+# the micro-kernel bench, and the RankService mixed-load bench from the
+# Release preset and wraps their output plus the machine/config
+# fingerprint into one JSON document.
 #
 # With LFPR_RECORD_SCALE2=1 it additionally runs the mapped-snapshot
 # kernel group (BM_Mapped*) at LFPR_BENCH_SCALE=2 — the larger-than-L3
@@ -42,6 +43,13 @@ else
   printf '{"skipped": "google-benchmark not available at build time"}' > "$micro_json"
 fi
 
+# Service bench (PR 6): mixed ingest+query load. Emits its own
+# google-benchmark-compatible JSON (one entry per repetition), so the
+# same min-of-repetitions reduction applies to ingest items/s and the
+# query p50_ns/p99_ns latency counters.
+service_json="$workdir/service.json"
+"$build/bench/bench_service" --json "$service_json" > "$workdir/service.txt"
+
 micro2_json=""
 if [[ "$scale2" == "1" && -x "$build/bench/bench_micro_kernels" ]]; then
   micro2_json="$workdir/micro_scale2.json"
@@ -56,11 +64,11 @@ commit="$(git -C "$repo" rev-parse --short HEAD 2>/dev/null || echo unknown)"
 recorded="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 
 python3 - "$out" "$workdir/table2.txt" "$micro_json" "$commit" "$recorded" \
-    "$scale" "$threads" "$repeats" "${micro2_json:-}" <<'PYEOF'
+    "$scale" "$threads" "$repeats" "$service_json" "${micro2_json:-}" <<'PYEOF'
 import json, os, platform, sys
 
 (out, table2_path, micro_path, commit, recorded,
- scale, threads, repeats, micro2_path) = sys.argv[1:10]
+ scale, threads, repeats, service_path, micro2_path) = sys.argv[1:11]
 
 with open(micro_path) as f:
     micro = json.load(f)
@@ -79,6 +87,8 @@ doc = {
     "bench_table2_static_datasets": open(table2_path).read().splitlines(),
     "bench_micro_kernels": micro,
 }
+with open(service_path) as f:
+    doc["bench_service"] = json.load(f)
 if micro2_path:
     with open(micro2_path) as f:
         doc["bench_micro_kernels_scale2"] = json.load(f)

@@ -55,6 +55,14 @@ class AtomicF64Vector {
     for (auto& a : v_) a.store(x, std::memory_order_relaxed);
   }
 
+  /// Overwrite from a plain vector of the same length (seeding a
+  /// persistent engine state between resumable steps — engine_step.hpp).
+  /// Caller must guarantee no concurrent accessors.
+  void assign(std::span<const double> init) noexcept {
+    for (std::size_t i = 0; i < init.size() && i < v_.size(); ++i)
+      v_[i].store(init[i], std::memory_order_relaxed);
+  }
+
   [[nodiscard]] std::size_t size() const noexcept { return v_.size(); }
 
   [[nodiscard]] std::vector<double> toVector() const {

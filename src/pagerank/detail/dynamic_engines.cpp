@@ -1,18 +1,14 @@
 #include "pagerank/detail/dynamic_engines.hpp"
 
-#include <atomic>
-#include <memory>
 #include <stdexcept>
 #include <vector>
 
 #include "pagerank/atomics.hpp"
-#include "pagerank/detail/common.hpp"
-#include "pagerank/detail/lf_iterate.hpp"
+#include "pagerank/detail/engine_step.hpp"
 #include "pagerank/detail/marking.hpp"
 #include "pagerank/detail/power_bb.hpp"
 #include "sched/chunk_cursor.hpp"
 #include "sched/thread_team.hpp"
-#include "sched/work_ring.hpp"
 #include "util/timer.hpp"
 
 namespace lfpr::detail {
@@ -94,89 +90,20 @@ PageRankResult dynamicLF(const CsrGraph& prev, const CsrGraph& curr,
                          const BatchUpdate& batch, std::span<const double> prevRanks,
                          const PageRankOptions& opt, FaultInjector* fault,
                          bool traverse, bool expandFrontier) {
-  validateInputs(prev, curr, batch, prevRanks, traverse ? "dtLF" : "dfLF");
-  PageRankResult result;
-  const std::size_t n = curr.numVertices();
-  if (n == 0) {
-    result.converged = true;
-    return result;
-  }
-
-  ThreadTeam team(opt.numThreads);
-  PageRankOptions resolved = opt;
-  resolved.numThreads = team.size();
-
-  const std::vector<Edge> edges = concatBatch(batch);
-  const auto pullCsr = buildPullLayout(resolved, curr);
-  const WeightedPullCsr* pull = pullCsr ? &*pullCsr : nullptr;
-  AtomicF64Vector ranks{prevRanks};
-  AtomicU8Vector affected(n, 0);
-  AtomicU8Vector notConverged(n, 0);
-  AtomicU8Vector checked(n, 0);
-
-  const bool useWorklist = resolved.scheduling == SchedulingMode::Worklist;
-  // Worklist solves detect convergence on the per-vertex flags; the
-  // per-chunk ablation only applies to the dense scheduler.
-  const bool perChunk = resolved.perChunkConvergence && !useWorklist;
-  const std::size_t numChunks = (n + resolved.chunkSize - 1) / resolved.chunkSize;
-  AtomicU8Vector chunkFlags(perChunk ? numChunks : 0, 0);
-  AtomicU8Vector* chunkFlagsPtr = perChunk ? &chunkFlags : nullptr;
-
-  ChunkCursor markCursor(edges.size(), kEdgeChunkSize);
-  RoundCursorSet rounds(n, resolved.chunkSize,
-                        static_cast<std::size_t>(resolved.maxIterations));
-  std::atomic<bool> allConverged{false};
-  std::atomic<int> maxRound{0};
-  std::atomic<std::uint64_t> rankUpdates{0};
-  ProtocolCounters counters;
-
-  // DT/DF worklist solves are ring-seeded by the marking phase and start
-  // in the sparse (ring-driven) phase directly.
-  std::unique_ptr<WorklistScheduler> worklist;
-  if (useWorklist)
-    worklist = std::make_unique<WorklistScheduler>(n, team.size(),
-                                                   /*seedSweep=*/false);
-
-  const LfShared iterate{curr,
-                         pull,
-                         ranks,
-                         notConverged,
-                         &affected,
-                         expandFrontier,
-                         chunkFlagsPtr,
-                         rounds,
-                         allConverged,
-                         maxRound,
-                         rankUpdates,
-                         resolved,
-                         fault,
-                         worklist.get(),
-                         &counters};
-  const Stopwatch timer;
-  team.run([&](int tid) {
-    if (fault != nullptr && fault->crashed(tid)) return;
-    const MarkShared mark{prev,       curr,         edges,         checked,
-                          affected,   notConverged, chunkFlagsPtr, resolved.chunkSize,
-                          markCursor, traverse,     fault,         worklist.get(),
-                          &counters};
-    if (!markAffectedWorker(mark, tid)) return;  // crashed mid-marking
-    lfIterateWorker(iterate, tid);
-  });
-  // Absorb flags re-marked by workers that were still in flight when the
-  // convergence scan passed (termination protocol, part 3).
-  lfFinishSequential(iterate);
-  result.timeMs = timer.elapsedMs();
-
-  // The flags, not allConverged, are the authority: the finish pass can
-  // itself hit the round cap and leave the run honestly unconverged.
-  result.converged =
-      chunkFlagsPtr != nullptr ? chunkFlags.allZero() : notConverged.allZero();
-  result.iterations = maxRound.load();
-  result.rankUpdates = rankUpdates.load();
-  result.affectedVertices = affected.countNonZero();
-  result.ranks = ranks.toVector();
-  result.protocolStats = counters.snapshot();
-  if (worklist) result.protocolStats.ringPushes = worklist->pushes();
+  // One-shot wrapper over the resumable step API (engine_step.hpp): a
+  // fresh state seeded with prevRanks, exactly one dynamic step, ranks
+  // copied out. Long-lived callers (service/rank_service.cpp) keep the
+  // state across steps instead.
+  const char* name = traverse ? "dtLF" : "dfLF";
+  if (prevRanks.size() != curr.numVertices())
+    throw std::invalid_argument(std::string(name) +
+                                ": prevRanks size must match graph");
+  LfEngineState state(curr.numVertices());
+  state.seedRanks(prevRanks);
+  PageRankResult result =
+      lfDynamicStep(state, prev, curr, batch, opt, fault, traverse,
+                    expandFrontier, name);
+  result.ranks = state.ranks.toVector();
   return result;
 }
 

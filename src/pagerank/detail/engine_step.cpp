@@ -1,0 +1,229 @@
+#include "pagerank/detail/engine_step.hpp"
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "pagerank/detail/common.hpp"
+#include "pagerank/detail/lf_iterate.hpp"
+#include "pagerank/detail/marking.hpp"
+#include "pagerank/error.hpp"
+#include "sched/chunk_cursor.hpp"
+#include "sched/thread_team.hpp"
+#include "sched/work_ring.hpp"
+#include "util/timer.hpp"
+
+namespace lfpr::detail {
+
+namespace {
+
+/// Dynamic-schedule chunk size for the batch-edge loop of the marking
+/// phase. Batches are usually much smaller than the vertex set, so a
+/// smaller chunk keeps the marking balanced.
+constexpr std::size_t kEdgeChunkSize = 256;
+
+std::vector<Edge> concatBatch(const BatchUpdate& batch) {
+  std::vector<Edge> edges;
+  edges.reserve(batch.size());
+  edges.insert(edges.end(), batch.deletions.begin(), batch.deletions.end());
+  edges.insert(edges.end(), batch.insertions.begin(), batch.insertions.end());
+  return edges;
+}
+
+bool stopSeen(const PageRankOptions& opt) noexcept {
+  return opt.stopRequested != nullptr &&
+         opt.stopRequested->load(std::memory_order_relaxed);
+}
+
+void finishResult(PageRankResult& result, const PageRankOptions& opt,
+                  bool flagsClean) {
+  result.converged = flagsClean;
+  result.stopped = stopSeen(opt);
+  result.toleranceBound =
+      result.converged ? asyncToleranceBound(opt.tolerance, opt.alpha)
+                       : std::numeric_limits<double>::infinity();
+}
+
+}  // namespace
+
+PageRankResult lfFullStep(LfEngineState& state, const CsrGraph& curr,
+                          const PageRankOptions& opt, FaultInjector* fault) {
+  PageRankResult result;
+  const std::size_t n = curr.numVertices();
+  if (n != state.size())
+    throw std::invalid_argument("lfFullStep: state size must match graph");
+  if (n == 0) {
+    result.converged = true;
+    result.toleranceBound = asyncToleranceBound(opt.tolerance, opt.alpha);
+    return result;
+  }
+
+  ThreadTeam team(opt.numThreads);
+  PageRankOptions resolved = opt;
+  resolved.numThreads = team.size();
+
+  const auto pullCsr = buildPullLayout(resolved, curr);
+  const WeightedPullCsr* pull = pullCsr ? &*pullCsr : nullptr;
+
+  // Paper Algorithm 4 note: RC semantics are 1 = "rank has not yet
+  // converged"; every vertex starts unconverged for Static/ND.
+  state.notConverged.fill(1);
+  RoundCursorSet rounds(n, resolved.chunkSize,
+                        static_cast<std::size_t>(resolved.maxIterations));
+  std::atomic<bool> allConverged{false};
+  std::atomic<int> maxRound{0};
+  std::atomic<std::uint64_t> rankUpdates{0};
+  ProtocolCounters counters;
+
+  // Static/ND worklist solves start all-dirty: round 0 is a dense seeding
+  // sweep whose marks populate the rings (see lf_iterate.cpp).
+  std::unique_ptr<WorklistScheduler> worklist;
+  if (resolved.scheduling == SchedulingMode::Worklist)
+    worklist = std::make_unique<WorklistScheduler>(n, team.size(),
+                                                   /*seedSweep=*/true);
+
+  const LfShared shared{curr,
+                        pull,
+                        state.ranks,
+                        state.notConverged,
+                        /*affected=*/nullptr,
+                        /*expandFrontier=*/false,
+                        /*chunkFlags=*/nullptr,
+                        rounds,
+                        allConverged,
+                        maxRound,
+                        rankUpdates,
+                        resolved,
+                        fault,
+                        worklist.get(),
+                        &counters};
+  const Stopwatch timer;
+  team.run([&](int tid) {
+    if (fault != nullptr && fault->crashed(tid)) return;
+    lfIterateWorker(shared, tid);
+  });
+  // Absorb flags re-marked by workers that were still in flight when the
+  // convergence scan passed (termination protocol, part 3).
+  lfFinishSequential(shared);
+  result.timeMs = timer.elapsedMs();
+
+  // The flags, not allConverged, are the authority: the finish pass can
+  // itself hit the round cap and leave the run honestly unconverged.
+  finishResult(result, resolved, state.notConverged.allZero());
+  result.iterations = maxRound.load();
+  result.rankUpdates = rankUpdates.load();
+  result.protocolStats = counters.snapshot();
+  if (worklist) result.protocolStats.ringPushes = worklist->pushes();
+  return result;
+}
+
+PageRankResult lfDynamicStep(LfEngineState& state, const CsrGraph& prev,
+                             const CsrGraph& curr, const BatchUpdate& batch,
+                             const PageRankOptions& opt, FaultInjector* fault,
+                             bool traverse, bool expandFrontier,
+                             const char* name) {
+  const std::size_t n = curr.numVertices();
+  if (state.size() != n)
+    throw std::invalid_argument(std::string(name) +
+                                ": prevRanks size must match graph");
+  if (prev.numVertices() != curr.numVertices())
+    throw std::invalid_argument(
+        std::string(name) +
+        ": snapshots must share the vertex set (no vertex insertions/deletions)");
+  for (const Edge& e : batch.deletions)
+    if (e.src >= curr.numVertices() || e.dst >= curr.numVertices())
+      throw std::out_of_range(std::string(name) + ": batch edge out of range");
+  for (const Edge& e : batch.insertions)
+    if (e.src >= curr.numVertices() || e.dst >= curr.numVertices())
+      throw std::out_of_range(std::string(name) + ": batch edge out of range");
+
+  PageRankResult result;
+  if (n == 0) {
+    result.converged = true;
+    result.toleranceBound = asyncToleranceBound(opt.tolerance, opt.alpha);
+    return result;
+  }
+
+  ThreadTeam team(opt.numThreads);
+  PageRankOptions resolved = opt;
+  resolved.numThreads = team.size();
+
+  const std::vector<Edge> edges = concatBatch(batch);
+  const auto pullCsr = buildPullLayout(resolved, curr);
+  const WeightedPullCsr* pull = pullCsr ? &*pullCsr : nullptr;
+  state.affected.fill(0);
+  state.notConverged.fill(0);
+  state.checked.fill(0);
+
+  const bool useWorklist = resolved.scheduling == SchedulingMode::Worklist;
+  // Worklist solves detect convergence on the per-vertex flags; the
+  // per-chunk ablation only applies to the dense scheduler.
+  const bool perChunk = resolved.perChunkConvergence && !useWorklist;
+  const std::size_t numChunks = (n + resolved.chunkSize - 1) / resolved.chunkSize;
+  AtomicU8Vector chunkFlags(perChunk ? numChunks : 0, 0);
+  AtomicU8Vector* chunkFlagsPtr = perChunk ? &chunkFlags : nullptr;
+
+  ChunkCursor markCursor(edges.size(), kEdgeChunkSize);
+  RoundCursorSet rounds(n, resolved.chunkSize,
+                        static_cast<std::size_t>(resolved.maxIterations));
+  std::atomic<bool> allConverged{false};
+  std::atomic<int> maxRound{0};
+  std::atomic<std::uint64_t> rankUpdates{0};
+  ProtocolCounters counters;
+
+  // DT/DF worklist solves are ring-seeded by the marking phase and start
+  // in the sparse (ring-driven) phase directly.
+  std::unique_ptr<WorklistScheduler> worklist;
+  if (useWorklist)
+    worklist = std::make_unique<WorklistScheduler>(n, team.size(),
+                                                   /*seedSweep=*/false);
+
+  const LfShared iterate{curr,
+                         pull,
+                         state.ranks,
+                         state.notConverged,
+                         &state.affected,
+                         expandFrontier,
+                         chunkFlagsPtr,
+                         rounds,
+                         allConverged,
+                         maxRound,
+                         rankUpdates,
+                         resolved,
+                         fault,
+                         worklist.get(),
+                         &counters};
+  const Stopwatch timer;
+  team.run([&](int tid) {
+    if (fault != nullptr && fault->crashed(tid)) return;
+    const MarkShared mark{prev,       curr,
+                          edges,      state.checked,
+                          state.affected, state.notConverged,
+                          chunkFlagsPtr,  resolved.chunkSize,
+                          markCursor, traverse,
+                          fault,      worklist.get(),
+                          &counters};
+    if (!markAffectedWorker(mark, tid)) return;  // crashed mid-marking
+    lfIterateWorker(iterate, tid);
+  });
+  // Absorb flags re-marked by workers that were still in flight when the
+  // convergence scan passed (termination protocol, part 3).
+  lfFinishSequential(iterate);
+  result.timeMs = timer.elapsedMs();
+
+  // The flags, not allConverged, are the authority: the finish pass can
+  // itself hit the round cap and leave the run honestly unconverged.
+  finishResult(result, resolved,
+               chunkFlagsPtr != nullptr ? chunkFlags.allZero()
+                                        : state.notConverged.allZero());
+  result.iterations = maxRound.load();
+  result.rankUpdates = rankUpdates.load();
+  result.affectedVertices = state.affected.countNonZero();
+  result.protocolStats = counters.snapshot();
+  if (worklist) result.protocolStats.ringPushes = worklist->pushes();
+  return result;
+}
+
+}  // namespace lfpr::detail

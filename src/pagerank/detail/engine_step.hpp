@@ -1,0 +1,80 @@
+// Resumable step API for the lock-free engines (the PR 6 service
+// refactor). The one-shot entry points (powerIterateLF, dynamicLF) used
+// to own their working state — rank vector, affected / notConverged /
+// checked flags — allocate it per call, run to convergence, and copy the
+// ranks out. A long-lived service solving batch after batch against the
+// same vertex set wants none of that: the rank vector must *persist*
+// between steps (it is the warm start the dynamic algorithms are built
+// around) and the flag vectors are pure scratch that is wasteful to
+// reallocate thousands of times.
+//
+// LfEngineState is that persistent state, and the two step functions run
+// exactly one converged-or-capped lock-free solve against it:
+//
+//   lfFullStep     every vertex marked unconverged — Static/ND semantics;
+//                  whatever is in state.ranks is the seed (uniform for a
+//                  static solve, the previous fixpoint for ND). Also the
+//                  service's crash-recovery re-solve.
+//   lfDynamicStep  batch-marked frontier — DT (traverse) / DF
+//                  (expandFrontier) semantics against a prev/curr
+//                  snapshot pair.
+//
+// Both leave the updated ranks IN state.ranks (result.ranks stays empty;
+// the caller decides when a copy is worth it — the service copies only
+// at publish). The one-shot engine entry points are now thin wrappers:
+// seed a fresh state, take one step, copy out. The PR 1 termination
+// protocol is untouched — the steps drive the same markAffectedWorker /
+// lfIterateWorker / lfFinishSequential pipeline documented in
+// lf_iterate.cpp; only the ownership of the buffers moved.
+#pragma once
+
+#include <span>
+
+#include "graph/csr.hpp"
+#include "pagerank/atomics.hpp"
+#include "pagerank/options.hpp"
+#include "sched/fault.hpp"
+
+namespace lfpr::detail {
+
+/// Working state for a sequence of lock-free solve steps over a fixed
+/// vertex set. Constructed once (all vectors sized n); each step resets
+/// the flag vectors and iterates the rank vector in place.
+struct LfEngineState {
+  explicit LfEngineState(std::size_t n)
+      : ranks(n, 0.0), affected(n, 0), notConverged(n, 0), checked(n, 0) {}
+
+  /// Seed the rank vector (no concurrent step may be running).
+  void seedRanks(std::span<const double> init) noexcept { ranks.assign(init); }
+  void seedUniform() noexcept {
+    ranks.fill(ranks.size() == 0 ? 0.0
+                                 : 1.0 / static_cast<double>(ranks.size()));
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return ranks.size(); }
+
+  AtomicF64Vector ranks;
+  AtomicU8Vector affected;      // dynamic steps only
+  AtomicU8Vector notConverged;  // the termination protocol's RC flags
+  AtomicU8Vector checked;       // marking-phase helping flags
+};
+
+/// One full solve step: every vertex starts unconverged, state.ranks is
+/// the seed. Returns the usual engine result minus the rank copy
+/// (result.ranks empty; ranks live in state). `curr.numVertices()` must
+/// equal `state.size()`.
+PageRankResult lfFullStep(LfEngineState& state, const CsrGraph& curr,
+                          const PageRankOptions& opt, FaultInjector* fault);
+
+/// One batch-incremental solve step (DT when `traverse`, DF when
+/// `expandFrontier`): marks the frontier from `batch` against the
+/// prev/curr snapshot pair, then iterates. state.ranks must hold
+/// converged ranks for `prev`. Throws like dtLF/dfLF on mismatched
+/// inputs. `name` labels validation errors ("dfLF", "service", ...).
+PageRankResult lfDynamicStep(LfEngineState& state, const CsrGraph& prev,
+                             const CsrGraph& curr, const BatchUpdate& batch,
+                             const PageRankOptions& opt, FaultInjector* fault,
+                             bool traverse, bool expandFrontier,
+                             const char* name);
+
+}  // namespace lfpr::detail

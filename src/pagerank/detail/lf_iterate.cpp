@@ -125,6 +125,22 @@ namespace lfpr::detail {
 
 namespace {
 
+/// Service lifecycle hook (PageRankOptions::stopRequested): a cooperative
+/// stop is observed at the same boundaries as global convergence. The
+/// flags stay the authority for `converged`, so a stopped run reports
+/// honestly unconverged flags rather than a fake fixpoint.
+bool stopSeen(const LfShared& s) noexcept {
+  return s.opt.stopRequested != nullptr &&
+         s.opt.stopRequested->load(std::memory_order_relaxed);
+}
+
+/// Loop-exit test shared by every scheduling loop: global convergence or
+/// a cooperative stop request. Both end the solve at the next chunk/round
+/// boundary.
+bool exitLoops(const LfShared& s) noexcept {
+  return s.allConverged.load(std::memory_order_relaxed) || stopSeen(s);
+}
+
 // Always RMW, never "skip because it already reads 1": a marker that
 // skips the fetchOr is absent from the flag's modification order, so a
 // concurrent acquire clear would synchronize only with the OLD marker
@@ -366,9 +382,9 @@ void lfWorklistWorker(const LfShared& s, int tid) {
   // scheduler, until the frontier is sparse enough for the rings to win
   // (see WorklistScheduler::sparse). The marks made here seed the rings.
   while (round < maxRounds && !wl.sparse()) {
-    if (s.allConverged.load(std::memory_order_relaxed)) break;
+    if (exitLoops(s)) break;
     std::size_t begin = 0, end = 0;
-    while (!s.allConverged.load(std::memory_order_relaxed) &&
+    while (!exitLoops(s) &&
            s.rounds.next(static_cast<std::size_t>(round), begin, end)) {
       bool anyUnconverged = false;
       if (!processRange(s, tid, begin, end, updates, anyUnconverged)) {
@@ -392,7 +408,7 @@ void lfWorklistWorker(const LfShared& s, int tid) {
 
   int idleRounds = 0;
   while (round < maxRounds) {
-    if (s.allConverged.load(std::memory_order_relaxed)) break;
+    if (exitLoops(s)) break;
 
     // Drain the own ring, at most `budget` entries per round so
     // `iterations` keeps its sweeps-equivalent meaning and maxIterations
@@ -479,7 +495,7 @@ void lfWorklistWorker(const LfShared& s, int tid) {
     }
     bool swept = false;
     std::size_t begin = 0, end = 0;
-    while (!s.allConverged.load(std::memory_order_relaxed) &&
+    while (!exitLoops(s) &&
            s.rounds.next(static_cast<std::size_t>(round), begin, end)) {
       swept = true;
       bool anyUnconverged = false;
@@ -529,7 +545,7 @@ void lfIterateWorker(const LfShared& s, int tid) {
   }
 
   for (int round = 0; round < maxRounds; ++round) {
-    if (s.allConverged.load(std::memory_order_relaxed)) break;
+    if (exitLoops(s)) break;
 
     if (s.opt.staticSchedule) {
       bool anyUnconverged = false;
@@ -547,7 +563,7 @@ void lfIterateWorker(const LfShared& s, int tid) {
       }
     } else {
       std::size_t begin = 0, end = 0;
-      while (!s.allConverged.load(std::memory_order_relaxed) &&
+      while (!exitLoops(s) &&
              s.rounds.next(static_cast<std::size_t>(round), begin, end)) {
         bool anyUnconverged = false;
         if (!processRange(s, tid, begin, end, updates, anyUnconverged)) {
@@ -589,6 +605,9 @@ void lfFinishSequential(const LfShared& s) {
       std::max(0, s.opt.maxIterations - s.maxRound.load(std::memory_order_relaxed));
   int roundsDone = 0;
   for (int round = 0; round < budget; ++round) {
+    // A stop request ends the finish pass too; dirty flags then keep the
+    // result honestly unconverged.
+    if (stopSeen(s)) break;
     if (flagsAllZeroFrom(s, scanHint)) break;
     bool anyUnconverged = false;
     for (std::size_t i = 0; i < n; ++i) {

@@ -2,8 +2,10 @@
 
 #include <atomic>
 #include <cmath>
+#include <limits>
 
 #include "pagerank/detail/common.hpp"
+#include "pagerank/error.hpp"
 #include "sched/barrier.hpp"
 #include "sched/chunk_cursor.hpp"
 #include "sched/thread_team.hpp"
@@ -18,6 +20,7 @@ PageRankResult powerIterateBB(const CsrGraph& g, std::vector<double> init,
   const std::size_t n = g.numVertices();
   if (n == 0) {
     result.converged = true;
+    result.toleranceBound = syncToleranceBound(opt.tolerance, opt.alpha);
     return result;
   }
 
@@ -39,6 +42,7 @@ PageRankResult powerIterateBB(const CsrGraph& g, std::vector<double> init,
   std::vector<double>* cur = &rankA;
   std::vector<double>* nxt = &rankB;
   std::atomic<bool> done{false};
+  std::atomic<bool> stoppedFlag{false};
   std::atomic<bool> brokenFlag{false};
   std::atomic<int> iterations{0};
 
@@ -86,7 +90,17 @@ PageRankResult powerIterateBB(const CsrGraph& g, std::vector<double> init,
         double delta = 0.0;
         for (const PaddedDouble& m : localMax) delta = std::max(delta, m.value);
         iterations.store(it + 1);
-        if (delta <= opt.tolerance) done.store(true);
+        if (delta <= opt.tolerance) {
+          done.store(true);
+        } else if (opt.stopRequested != nullptr &&
+                   opt.stopRequested->load(std::memory_order_relaxed)) {
+          // Cooperative stop (service lifecycle hook): exit every thread
+          // through the same barrier pair as convergence — a lone early
+          // exit would break the barrier for the survivors — but record
+          // the stop separately so `converged` stays honest.
+          stoppedFlag.store(true);
+          done.store(true);
+        }
         cursor.reset();
         std::swap(cur, nxt);
       }
@@ -101,7 +115,11 @@ PageRankResult powerIterateBB(const CsrGraph& g, std::vector<double> init,
 
   result.iterations = iterations.load();
   result.dnf = brokenFlag.load() || barrier.broken();
-  result.converged = done.load() && !result.dnf;
+  result.stopped = stoppedFlag.load();
+  result.converged = done.load() && !result.dnf && !result.stopped;
+  result.toleranceBound = result.converged
+                              ? syncToleranceBound(opt.tolerance, opt.alpha)
+                              : std::numeric_limits<double>::infinity();
   result.waitMs = toMs(barrier.totalWaitTime());
   for (const PaddedU64& u : localUpdates) result.rankUpdates += u.value;
   result.ranks = std::move(*cur);

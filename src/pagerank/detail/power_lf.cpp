@@ -1,85 +1,17 @@
 #include "pagerank/detail/power_lf.hpp"
 
-#include <atomic>
-#include <memory>
-
-#include "pagerank/atomics.hpp"
-#include "pagerank/detail/common.hpp"
-#include "pagerank/detail/lf_iterate.hpp"
-#include "sched/chunk_cursor.hpp"
-#include "sched/thread_team.hpp"
-#include "sched/work_ring.hpp"
-#include "util/timer.hpp"
+#include "pagerank/detail/engine_step.hpp"
 
 namespace lfpr::detail {
 
 PageRankResult powerIterateLF(const CsrGraph& g, std::vector<double> init,
                               const PageRankOptions& opt, FaultInjector* fault) {
-  PageRankResult result;
-  const std::size_t n = g.numVertices();
-  if (n == 0) {
-    result.converged = true;
-    return result;
-  }
-
-  ThreadTeam team(opt.numThreads);
-  PageRankOptions resolved = opt;
-  resolved.numThreads = team.size();
-
-  const auto pullCsr = buildPullLayout(resolved, g);
-  const WeightedPullCsr* pull = pullCsr ? &*pullCsr : nullptr;
-
-  AtomicF64Vector ranks{std::span<const double>(init)};
-  // Paper Algorithm 4 note: RC semantics are 1 = "rank has not yet
-  // converged"; every vertex starts unconverged for Static/ND.
-  AtomicU8Vector notConverged(n, 1);
-  RoundCursorSet rounds(n, resolved.chunkSize,
-                        static_cast<std::size_t>(resolved.maxIterations));
-  std::atomic<bool> allConverged{false};
-  std::atomic<int> maxRound{0};
-  std::atomic<std::uint64_t> rankUpdates{0};
-  ProtocolCounters counters;
-
-  // Static/ND worklist solves start all-dirty: round 0 is a dense seeding
-  // sweep whose marks populate the rings (see lf_iterate.cpp).
-  std::unique_ptr<WorklistScheduler> worklist;
-  if (resolved.scheduling == SchedulingMode::Worklist)
-    worklist = std::make_unique<WorklistScheduler>(n, team.size(),
-                                                   /*seedSweep=*/true);
-
-  const LfShared shared{g,
-                        pull,
-                        ranks,
-                        notConverged,
-                        /*affected=*/nullptr,
-                        /*expandFrontier=*/false,
-                        /*chunkFlags=*/nullptr,
-                        rounds,
-                        allConverged,
-                        maxRound,
-                        rankUpdates,
-                        resolved,
-                        fault,
-                        worklist.get(),
-                        &counters};
-  const Stopwatch timer;
-  team.run([&](int tid) {
-    if (fault != nullptr && fault->crashed(tid)) return;
-    lfIterateWorker(shared, tid);
-  });
-  // Absorb flags re-marked by workers that were still in flight when the
-  // convergence scan passed (termination protocol, part 3).
-  lfFinishSequential(shared);
-  result.timeMs = timer.elapsedMs();
-
-  // The flags, not allConverged, are the authority: the finish pass can
-  // itself hit the round cap and leave the run honestly unconverged.
-  result.converged = notConverged.allZero();
-  result.iterations = maxRound.load();
-  result.rankUpdates = rankUpdates.load();
-  result.ranks = ranks.toVector();
-  result.protocolStats = counters.snapshot();
-  if (worklist) result.protocolStats.ringPushes = worklist->pushes();
+  // One-shot wrapper over the resumable step API (engine_step.hpp): a
+  // fresh state seeded with init, one full solve step, ranks copied out.
+  LfEngineState state(g.numVertices());
+  state.seedRanks(init);
+  PageRankResult result = lfFullStep(state, g, opt, fault);
+  result.ranks = state.ranks.toVector();
   return result;
 }
 

@@ -6,8 +6,10 @@
 // chunks of 2048 vertices.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 namespace lfpr {
@@ -69,6 +71,14 @@ struct PageRankOptions {
   /// BB engines: how long a thread may wait at a barrier before the run
   /// is declared dead (crash-stop deadlock detection).
   std::chrono::milliseconds barrierTimeout{60'000};
+  /// Service lifecycle hook: cooperative stop token. When non-null and
+  /// set, workers exit at the next iteration boundary and the result
+  /// comes back with `stopped = true` and `converged = false` (the
+  /// convergence flags stay authoritative — a stopped run is never
+  /// reported converged unless the flags were already clean). Lets a
+  /// long-lived owner (RankService::stop()) end an in-flight solve
+  /// promptly without killing threads.
+  const std::atomic<bool>* stopRequested = nullptr;
 };
 
 /// True when the library was built with -DLFPR_STATS=ON and the
@@ -102,6 +112,15 @@ struct PageRankResult {
   /// Iterations executed (LF: the maximum round any thread completed).
   int iterations = 0;
   bool converged = false;
+  /// The run exited early because PageRankOptions::stopRequested was set.
+  bool stopped = false;
+  /// Rank-error certificate (paper Section 4.5): an upper bound on
+  /// ||ranks - r*||_inf against the true fixpoint, derived from the
+  /// stopping rule actually used — syncToleranceBound for the
+  /// barrier-based engines, asyncToleranceBound for the lock-free ones
+  /// (error.hpp). Infinity when the run did not converge: an unconverged
+  /// rank vector certifies nothing.
+  double toleranceBound = std::numeric_limits<double>::infinity();
   /// Did-not-finish: a barrier broke (some thread crashed or stalled past
   /// the timeout). BB engines only; LF engines never DNF.
   bool dnf = false;

@@ -1,0 +1,279 @@
+#include "service/rank_service.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace lfpr {
+
+namespace {
+
+/// Fold `batch` onto `merged` (marking union for a coalesced step).
+void appendBatch(BatchUpdate& merged, const BatchUpdate& batch) {
+  merged.deletions.insert(merged.deletions.end(), batch.deletions.begin(),
+                          batch.deletions.end());
+  merged.insertions.insert(merged.insertions.end(), batch.insertions.begin(),
+                           batch.insertions.end());
+}
+
+}  // namespace
+
+RankService::RankService(const CsrGraph& initial, ServiceOptions opt)
+    : opt_(std::move(opt)),
+      numVertices_(initial.numVertices()),
+      graph_(DynamicDigraph::fromCsr(initial)),
+      state_(initial.numVertices()) {
+  graph_.ensureSelfLoops();
+  curr_ = graph_.toCsr();
+  state_.seedUniform();
+
+  // Epoch-0 placeholder so readers never observe a null snapshot: uniform
+  // ranks, honest converged=false and an infinite certificate.
+  auto seed = std::make_unique<RankSnapshot>();
+  seed->epoch = 0;
+  seed->ranks.assign(numVertices_,
+                     numVertices_ > 0 ? 1.0 / static_cast<double>(numVertices_)
+                                      : 0.0);
+  seed->publishedAt = std::chrono::steady_clock::now();
+  box_.publish(std::move(seed));
+
+  ingest_ = std::thread([this] { runLoop(); });
+}
+
+RankService::~RankService() { stop(); }
+
+void RankService::validateBatch(const BatchUpdate& batch) const {
+  for (const Edge& e : batch.deletions)
+    if (e.src >= numVertices_ || e.dst >= numVertices_)
+      throw std::out_of_range("RankService: batch edge out of range");
+  for (const Edge& e : batch.insertions)
+    if (e.src >= numVertices_ || e.dst >= numVertices_)
+      throw std::out_of_range("RankService: batch edge out of range");
+}
+
+bool RankService::submit(BatchUpdate batch) {
+  validateBatch(batch);
+  const std::uint64_t edges = batch.size();
+  std::unique_lock<std::mutex> lock(mutex_);
+  notFullCv_.wait(lock, [&] {
+    return stopping_ || draining_ || queue_.size() < opt_.queueCapacity;
+  });
+  if (stopping_ || draining_) return false;
+  pendingBatches_.fetch_add(1, std::memory_order_relaxed);
+  pendingEdges_.fetch_add(edges, std::memory_order_relaxed);
+  queue_.push_back(std::move(batch));
+  queueCv_.notify_one();
+  return true;
+}
+
+bool RankService::trySubmit(BatchUpdate batch) {
+  validateBatch(batch);
+  const std::uint64_t edges = batch.size();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stopping_ || draining_ || queue_.size() >= opt_.queueCapacity)
+    return false;
+  pendingBatches_.fetch_add(1, std::memory_order_relaxed);
+  pendingEdges_.fetch_add(edges, std::memory_order_relaxed);
+  queue_.push_back(std::move(batch));
+  queueCv_.notify_one();
+  return true;
+}
+
+void RankService::waitIdle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idleCv_.wait(lock, [&] { return (idle_ && queue_.empty()) || stopping_; });
+}
+
+std::uint64_t RankService::waitForEpoch(std::uint64_t epoch) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idleCv_.wait(lock, [&] {
+    return publishedEpoch_.load(std::memory_order_acquire) >= epoch || stopping_;
+  });
+  return publishedEpoch_.load(std::memory_order_acquire);
+}
+
+void RankService::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  stopFlag_.store(true, std::memory_order_relaxed);
+  queueCv_.notify_all();
+  notFullCv_.notify_all();
+  idleCv_.notify_all();
+  if (ingest_.joinable()) ingest_.join();
+}
+
+void RankService::drainAndStop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    draining_ = true;
+  }
+  queueCv_.notify_all();
+  notFullCv_.notify_all();
+  if (ingest_.joinable()) ingest_.join();
+}
+
+std::vector<double> RankService::ranks() const {
+  const SnapshotView view = box_.acquire();
+  return view->ranks;
+}
+
+double RankService::rank(VertexId v) const {
+  const SnapshotView view = box_.acquire();
+  return view->rank(v);
+}
+
+std::vector<std::pair<VertexId, double>> RankService::topK(std::size_t k) const {
+  const SnapshotView view = box_.acquire();
+  return view->topK(k);
+}
+
+Staleness RankService::staleness() const {
+  const SnapshotView view = box_.acquire();
+  Staleness s;
+  s.epoch = view->epoch;
+  s.toleranceBound = view->toleranceBound;
+  s.pendingBatches = pendingBatches_.load(std::memory_order_relaxed);
+  s.pendingEdges = pendingEdges_.load(std::memory_order_relaxed);
+  s.ageMs = std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - view->publishedAt)
+                .count();
+  return s;
+}
+
+ServiceStats RankService::stats() const {
+  ServiceStats s;
+  s.publishes = publishes_.load(std::memory_order_relaxed);
+  s.batchesApplied = batchesApplied_.load(std::memory_order_relaxed);
+  s.edgesIngested = edgesIngested_.load(std::memory_order_relaxed);
+  s.solves = solves_.load(std::memory_order_relaxed);
+  s.recoveries = recoveries_.load(std::memory_order_relaxed);
+  s.failedSteps = failedSteps_.load(std::memory_order_relaxed);
+  s.reclaimedSnapshots = box_.reclaimedCount();
+  s.retiredSnapshots = box_.retiredCount();
+  return s;
+}
+
+std::unique_ptr<FaultInjector> RankService::nextFault() {
+  const std::uint64_t idx = solves_.fetch_add(1, std::memory_order_relaxed);
+  return opt_.faultFactory ? opt_.faultFactory(idx) : nullptr;
+}
+
+void RankService::publishConverged(const PageRankResult& result) {
+  auto snap = std::make_unique<RankSnapshot>();
+  snap->epoch = nextEpoch_++;
+  snap->ranks = state_.ranks.toVector();
+  snap->converged = true;
+  snap->iterations = result.iterations;
+  snap->toleranceBound = result.toleranceBound;  // §4.5 certificate
+  snap->batchesApplied = batchesApplied_.load(std::memory_order_relaxed);
+  snap->edgesIngested = edgesIngested_.load(std::memory_order_relaxed);
+  snap->publishedAt = std::chrono::steady_clock::now();
+  if (opt_.onPublish) opt_.onPublish(*snap);
+  const std::uint64_t epoch = snap->epoch;
+  box_.publish(std::move(snap));
+  publishes_.fetch_add(1, std::memory_order_relaxed);
+
+  // Everything folded into the graph so far is now reader-visible.
+  pendingBatches_.fetch_sub(unpublishedBatches_, std::memory_order_relaxed);
+  pendingEdges_.fetch_sub(unpublishedEdges_, std::memory_order_relaxed);
+  unpublishedBatches_ = 0;
+  unpublishedEdges_ = 0;
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    publishedEpoch_.store(epoch, std::memory_order_release);
+  }
+  idleCv_.notify_all();
+}
+
+bool RankService::stepOnce(std::vector<BatchUpdate>&& group) {
+  // Fold the group into the graph. prev/curr share the vertex set by
+  // construction; the merged edge list is the marking-phase input.
+  const CsrGraph prev = curr_;
+  BatchUpdate merged;
+  for (BatchUpdate& b : group) {
+    graph_.applyBatch(b);
+    batchesApplied_.fetch_add(1, std::memory_order_relaxed);
+    edgesIngested_.fetch_add(b.size(), std::memory_order_relaxed);
+    ++unpublishedBatches_;
+    unpublishedEdges_ += b.size();
+    appendBatch(merged, b);
+  }
+  if (!group.empty()) curr_ = graph_.toCsr();
+
+  PageRankOptions solveOpt = opt_.solver;
+  solveOpt.stopRequested = &stopFlag_;
+
+  PageRankResult result;
+  {
+    const auto fault = nextFault();
+    if (needFullResolve_) {
+      // Initial solve, or a previous step exhausted recovery: ND
+      // semantics — every vertex unconverged, current ranks as seed.
+      result = detail::lfFullStep(state_, curr_, solveOpt, fault.get());
+    } else {
+      result = detail::lfDynamicStep(state_, prev, curr_, merged, solveOpt,
+                                     fault.get(), opt_.traverse,
+                                     opt_.expandFrontier, "service");
+    }
+  }
+  if (result.stopped) return false;
+
+  // Service-level crash recovery: an unconverged step (crashed workers,
+  // iteration cap) is re-solved from scratch semantics before readers
+  // ever see it. Until something converges, the last epoch stays
+  // published.
+  int attempt = 0;
+  while (!result.converged && attempt < opt_.maxRecoveryAttempts) {
+    ++attempt;
+    recoveries_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t solveIndex =
+        solves_.load(std::memory_order_relaxed);  // index nextFault will use
+    const auto fault = nextFault();
+    result = detail::lfFullStep(state_, curr_, solveOpt, fault.get());
+    if (opt_.onRecovery) opt_.onRecovery(solveIndex, attempt, result.converged);
+    if (result.stopped) return false;
+  }
+
+  if (result.converged) {
+    needFullResolve_ = false;
+    publishConverged(result);
+  } else {
+    // Carry the debt: batches stay folded in, next step solves fully.
+    needFullResolve_ = true;
+    failedSteps_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+void RankService::runLoop() {
+  // Initial full solve (epoch 1) before any batch is consumed.
+  if (!stepOnce({})) return;
+
+  while (true) {
+    std::vector<BatchUpdate> group;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      idle_ = true;
+      idleCv_.notify_all();
+      queueCv_.wait(lock, [&] {
+        return stopping_ || draining_ || !queue_.empty();
+      });
+      if (stopping_) return;  // hard stop abandons queued batches
+      if (queue_.empty()) return;  // draining and drained
+      idle_ = false;
+      const std::size_t take =
+          std::min(queue_.size(), std::max<std::size_t>(opt_.maxBatchesPerStep, 1));
+      group.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        group.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    notFullCv_.notify_all();
+    if (!stepOnce(std::move(group))) return;
+  }
+}
+
+}  // namespace lfpr

@@ -1,0 +1,238 @@
+// Long-lived PageRank service (the PR 6 tentpole): a resident engine
+// that continuously ingests edge batches and publishes rank vectors to
+// concurrent readers at convergence boundaries.
+//
+// The one-shot solvers (pagerank.hpp) answer "rank this snapshot"; the
+// service answers "keep this graph ranked". One ingest thread owns the
+// mutable graph and a persistent LfEngineState (engine_step.hpp) and
+// runs the paper's Dynamic Frontier protocol batch after batch — warm
+// ranks carried across steps, only the affected subset re-iterated.
+// Each converged solve is published as an immutable RankSnapshot via
+// SnapshotBox's epoch/RCU pointer flip, so readers:
+//
+//   - never block an ingest step, and never block each other;
+//   - never observe torn or rolled-back ranks: every query answers
+//     against one published snapshot, and unconverged / crashed /
+//     stopped solves are simply never published — the previous epoch
+//     stays current (readers keep serving it) until a converged solve
+//     replaces it;
+//   - get the §4.5 certificate with every answer: snapshot.toleranceBound
+//     bounds the published ranks' distance from the exact fixpoint of
+//     the graph at that epoch.
+//
+// Crash recovery is a service-level property (PR 5's intra-solve
+// takeover handles threads dying *inside* a step; this layer handles
+// whole steps failing): a step that comes back unconverged — injected
+// crash ate too many workers, iteration cap, DNF — triggers up to
+// maxRecoveryAttempts full re-solves (ND semantics: all vertices
+// unconverged, current ranks as the warm seed). If those also fail the
+// step's batches stay folded into the graph, the next step runs as a
+// full solve instead of an incremental one, and readers keep the last
+// published epoch throughout.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/dynamic_digraph.hpp"
+#include "graph/types.hpp"
+#include "pagerank/detail/engine_step.hpp"
+#include "pagerank/options.hpp"
+#include "sched/fault.hpp"
+#include "service/snapshot_box.hpp"
+
+namespace lfpr {
+
+struct ServiceOptions {
+  /// Engine configuration for every solve the service runs. numThreads,
+  /// tolerance, scheduling mode etc. all apply; stopRequested is owned
+  /// by the service and must be left null.
+  PageRankOptions solver;
+
+  /// Marking semantics for incremental steps: Dynamic Frontier (the
+  /// paper's best engine) by default; set traverse for Dynamic Traversal.
+  bool traverse = false;
+  bool expandFrontier = true;
+
+  /// Bounded ingest queue: submit() blocks when full (backpressure).
+  std::size_t queueCapacity = 256;
+
+  /// Batches coalesced into one solve step when the queue runs ahead of
+  /// the engine. Marking the union of several batches against the
+  /// (pre-first, post-last) snapshot pair is conservative — every vertex
+  /// any batch touched is marked — so coalescing trades per-batch
+  /// latency for throughput without weakening the frontier invariant.
+  std::size_t maxBatchesPerStep = 16;
+
+  /// Full re-solves attempted when a step comes back unconverged.
+  int maxRecoveryAttempts = 2;
+
+  /// Called by the ingest thread just before a snapshot becomes
+  /// visible to readers.
+  std::function<void(const RankSnapshot&)> onPublish;
+
+  /// Called by the ingest thread after each recovery attempt.
+  std::function<void(std::uint64_t solveIndex, int attempt, bool recovered)>
+      onRecovery;
+
+  /// Test hook: supplies a FaultInjector for solve number `solveIndex`
+  /// (0 = the initial full solve; recovery re-solves get their own
+  /// indices). Return null for a healthy solve.
+  std::function<std::unique_ptr<FaultInjector>(std::uint64_t solveIndex)>
+      faultFactory;
+};
+
+/// Reader-visible freshness report: which epoch answers queries, how
+/// tight its certificate is, and how much ingested-but-unpublished work
+/// is outstanding.
+struct Staleness {
+  std::uint64_t epoch = 0;
+  /// §4.5 bound of the snapshot readers currently see.
+  double toleranceBound = 0.0;
+  /// Batches/edges accepted by submit() but not yet reflected in the
+  /// published snapshot (queued, in-flight, or folded into a
+  /// yet-unconverged step).
+  std::uint64_t pendingBatches = 0;
+  std::uint64_t pendingEdges = 0;
+  /// Milliseconds since the current snapshot was published.
+  double ageMs = 0.0;
+};
+
+struct ServiceStats {
+  std::uint64_t publishes = 0;
+  std::uint64_t batchesApplied = 0;
+  std::uint64_t edgesIngested = 0;
+  std::uint64_t solves = 0;
+  std::uint64_t recoveries = 0;
+  /// Steps that exhausted recovery and carried a full re-solve forward.
+  std::uint64_t failedSteps = 0;
+  std::uint64_t reclaimedSnapshots = 0;
+  std::size_t retiredSnapshots = 0;
+};
+
+class RankService {
+ public:
+  /// Starts the ingest thread. The vertex set is fixed for the service's
+  /// lifetime (the engines require prev/curr snapshots to share it);
+  /// self-loops are ensured on construction per the paper's dead-end
+  /// elimination. Readers immediately see an epoch-0 placeholder
+  /// (uniform ranks, toleranceBound = infinity); epoch 1 — the initial
+  /// full solve — follows asynchronously. Use waitForEpoch(1) to block
+  /// until the first real ranking is up.
+  explicit RankService(const CsrGraph& initial, ServiceOptions opt = {});
+
+  /// stop()s and joins.
+  ~RankService();
+
+  RankService(const RankService&) = delete;
+  RankService& operator=(const RankService&) = delete;
+
+  // --- ingest side -------------------------------------------------
+
+  /// Enqueue a batch; blocks while the queue is full. Returns false if
+  /// the service is stopping (the batch was not accepted). Throws
+  /// std::out_of_range on edges outside the vertex set.
+  bool submit(BatchUpdate batch);
+
+  /// Non-blocking submit: false when the queue is full or stopping.
+  bool trySubmit(BatchUpdate batch);
+
+  /// Block until the queue is drained and no step is in flight.
+  void waitIdle();
+
+  /// Block until the published epoch reaches `epoch` (or the service
+  /// stops). Returns the epoch readers currently see.
+  std::uint64_t waitForEpoch(std::uint64_t epoch);
+
+  /// Cooperative hard stop: aborts any in-flight solve at its next
+  /// iteration boundary (nothing partial is ever published), abandons
+  /// queued batches, joins the ingest thread. Idempotent. Readers keep
+  /// the last published epoch — views stay valid until the service is
+  /// destroyed.
+  void stop();
+
+  /// Finish every queued batch, publish, then stop. Idempotent.
+  void drainAndStop();
+
+  // --- reader side (all wait-free after per-thread registration) ---
+
+  /// Pin the current snapshot. All queries through the view answer
+  /// against one consistent epoch.
+  [[nodiscard]] SnapshotView snapshot() const { return box_.acquire(); }
+
+  /// Copy of the current rank vector.
+  [[nodiscard]] std::vector<double> ranks() const;
+
+  [[nodiscard]] double rank(VertexId v) const;
+
+  [[nodiscard]] std::vector<std::pair<VertexId, double>> topK(std::size_t k) const;
+
+  [[nodiscard]] Staleness staleness() const;
+
+  [[nodiscard]] ServiceStats stats() const;
+
+  [[nodiscard]] VertexId numVertices() const noexcept { return numVertices_; }
+
+  /// Epoch of the most recently published snapshot.
+  [[nodiscard]] std::uint64_t publishedEpoch() const noexcept {
+    return publishedEpoch_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void runLoop();
+  /// One solve step over `group` (empty = initial/carried full solve).
+  /// Returns false when a stop request ended the solve.
+  bool stepOnce(std::vector<BatchUpdate>&& group);
+  void publishConverged(const PageRankResult& result);
+  void validateBatch(const BatchUpdate& batch) const;
+  [[nodiscard]] std::unique_ptr<FaultInjector> nextFault();
+
+  ServiceOptions opt_;
+  const VertexId numVertices_;
+
+  // Ingest-thread-owned solve state.
+  DynamicDigraph graph_;
+  CsrGraph curr_;
+  detail::LfEngineState state_;
+  bool needFullResolve_ = true;  // initial solve is a full one
+  std::uint64_t nextEpoch_ = 1;
+  std::uint64_t unpublishedBatches_ = 0;
+  std::uint64_t unpublishedEdges_ = 0;
+
+  SnapshotBox box_;
+
+  // Queue + lifecycle.
+  mutable std::mutex mutex_;
+  std::condition_variable queueCv_;    // ingest thread waits for work
+  std::condition_variable notFullCv_;  // submitters wait for room
+  std::condition_variable idleCv_;     // waitIdle / waitForEpoch
+  std::deque<BatchUpdate> queue_;
+  bool stopping_ = false;
+  bool draining_ = false;
+  bool idle_ = false;
+  std::atomic<bool> stopFlag_{false};  // wired into PageRankOptions::stopRequested
+
+  // Counters (readable from any thread).
+  std::atomic<std::uint64_t> publishedEpoch_{0};
+  std::atomic<std::uint64_t> pendingBatches_{0};
+  std::atomic<std::uint64_t> pendingEdges_{0};
+  std::atomic<std::uint64_t> publishes_{0};
+  std::atomic<std::uint64_t> batchesApplied_{0};
+  std::atomic<std::uint64_t> edgesIngested_{0};
+  std::atomic<std::uint64_t> solves_{0};
+  std::atomic<std::uint64_t> recoveries_{0};
+  std::atomic<std::uint64_t> failedSteps_{0};
+
+  std::thread ingest_;
+};
+
+}  // namespace lfpr

@@ -1,0 +1,82 @@
+// Immutable rank vector published by the RankService (service layer,
+// PR 6) at a convergence boundary. A snapshot is built once by the
+// ingest thread, published through SnapshotBox's atomic pointer flip,
+// and never mutated afterwards — readers holding a SnapshotView see one
+// consistent ranking no matter how many batches land concurrently.
+//
+// Beyond the ranks themselves the snapshot carries the §4.5 rank-error
+// certificate: the engines' convergence detection bounds the true
+// fixpoint error of a converged solve by tolerance/(1-alpha) for the
+// asynchronous lock-free engines (asyncToleranceBound in error.hpp) and
+// tolerance*alpha/(1-alpha) for the barrier-based ones. The bound is
+// computed AT PUBLISH TIME from the options the solve actually ran
+// with, so a reader can turn "epoch 17" into "within 1e-7 of the exact
+// ranks of the graph as of epoch 17" without knowing service config.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace lfpr {
+
+struct RankSnapshot {
+  /// Publish sequence number: strictly increasing, starts at 0 for the
+  /// pre-solve placeholder the service installs so readers never observe
+  /// a null snapshot. Epoch 1 is the initial full solve.
+  std::uint64_t epoch = 0;
+
+  /// PageRank vector for the graph as of this epoch. Always sized to the
+  /// service's vertex set (the placeholder holds uniform ranks).
+  std::vector<double> ranks;
+
+  /// Whether the solve behind this snapshot converged. The service only
+  /// publishes converged solves after epoch 0, so readers normally see
+  /// true; the epoch-0 placeholder reports false.
+  bool converged = false;
+
+  /// Iterations of the solve that produced these ranks.
+  int iterations = 0;
+
+  /// §4.5 certificate: ||ranks - exact||_inf <= toleranceBound for the
+  /// graph at this epoch. Infinity on the epoch-0 placeholder.
+  double toleranceBound = std::numeric_limits<double>::infinity();
+
+  /// Cumulative ingest counters at publish (staleness accounting).
+  std::uint64_t batchesApplied = 0;
+  std::uint64_t edgesIngested = 0;
+
+  std::chrono::steady_clock::time_point publishedAt{};
+
+  [[nodiscard]] std::size_t numVertices() const noexcept { return ranks.size(); }
+
+  /// Rank of vertex v in this snapshot (0 when out of range, matching
+  /// the "unknown vertex has no rank" reading).
+  [[nodiscard]] double rank(VertexId v) const noexcept {
+    return v < ranks.size() ? ranks[v] : 0.0;
+  }
+
+  /// The k highest-ranked vertices, descending (ties by vertex id).
+  [[nodiscard]] std::vector<std::pair<VertexId, double>> topK(
+      std::size_t k) const {
+    const std::size_t n = ranks.size();
+    k = std::min(k, n);
+    std::vector<std::pair<VertexId, double>> order(n);
+    for (std::size_t v = 0; v < n; ++v)
+      order[v] = {static_cast<VertexId>(v), ranks[v]};
+    std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k),
+                      order.end(), [](const auto& a, const auto& b) {
+                        if (a.second != b.second) return a.second > b.second;
+                        return a.first < b.first;
+                      });
+    order.resize(k);
+    return order;
+  }
+};
+
+}  // namespace lfpr

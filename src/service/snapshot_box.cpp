@@ -1,0 +1,113 @@
+#include "service/snapshot_box.hpp"
+
+#include <limits>
+#include <utility>
+
+namespace lfpr {
+
+namespace {
+
+/// Monotonic box ids. Never reused, so a thread-local cache entry for a
+/// destroyed box can never match a live box's id.
+std::atomic<std::uint64_t> nextBoxId{1};
+
+}  // namespace
+
+void SnapshotView::reset() noexcept {
+  if (box_ != nullptr) box_->release(slot_);
+  box_ = nullptr;
+  slot_ = nullptr;
+  snap_ = nullptr;
+}
+
+SnapshotBox::SnapshotBox(std::unique_ptr<const RankSnapshot> initial)
+    : id_(nextBoxId.fetch_add(1, std::memory_order_relaxed)) {
+  current_.store(initial.release(), std::memory_order_release);
+}
+
+SnapshotBox::~SnapshotBox() {
+  // Precondition: no live views, no concurrent publish — every retiree
+  // and the current snapshot are unreachable.
+  for (const Retired& r : retired_) delete r.ptr;
+  retired_.clear();
+  delete current_.load(std::memory_order_relaxed);
+}
+
+auto SnapshotBox::slotForThisThread() const -> ReaderSlot* {
+  // One slot per (thread, box), cached thread-locally by box id. Linear
+  // scan: a thread touches a handful of boxes, ever.
+  thread_local std::vector<std::pair<std::uint64_t, ReaderSlot*>> cache;
+  for (const auto& [id, slot] : cache)
+    if (id == id_) return slot;
+  std::lock_guard<std::mutex> lock(slotsMutex_);
+  slots_.emplace_back();
+  ReaderSlot* slot = &slots_.back();
+  cache.emplace_back(id_, slot);
+  return slot;
+}
+
+SnapshotView SnapshotBox::acquire() const {
+  ReaderSlot* slot = slotForThisThread();
+  if (slot->depth++ == 0) {
+    // Announce-then-fence-then-load: the ordering protocol documented in
+    // the header. Nested acquires reuse the outer pin (depth > 0 means
+    // the announce is already visible and current_ cannot have been
+    // reclaimed under us).
+    slot->announced.store(era_.load(std::memory_order_acquire),
+                          std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+  }
+  const RankSnapshot* snap = current_.load(std::memory_order_acquire);
+  if (snap == nullptr) {
+    // Nothing published yet: undo the pin, return an empty view.
+    release(slot);
+    return SnapshotView{};
+  }
+  return SnapshotView(this, slot, snap);
+}
+
+void SnapshotBox::release(ReaderSlot* slot) const noexcept {
+  if (--slot->depth == 0)
+    slot->announced.store(0, std::memory_order_release);
+}
+
+void SnapshotBox::publish(std::unique_ptr<const RankSnapshot> snap) {
+  const RankSnapshot* old =
+      current_.exchange(snap.release(), std::memory_order_acq_rel);
+  const std::uint64_t e0 = era_.fetch_add(1, std::memory_order_acq_rel);
+  if (old != nullptr) {
+    retired_.push_back({old, e0});
+    retiredCount_.store(retired_.size(), std::memory_order_relaxed);
+  }
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  reclaim();
+}
+
+void SnapshotBox::reclaim() {
+  // Grace-period scan: the smallest era any pinned reader announced. A
+  // quiescent slot (0) imposes no constraint — by the fence argument in
+  // the header it either never held a retiree or already released it.
+  std::uint64_t minEra = std::numeric_limits<std::uint64_t>::max();
+  {
+    std::lock_guard<std::mutex> lock(slotsMutex_);
+    for (const ReaderSlot& slot : slots_) {
+      const std::uint64_t a = slot.announced.load(std::memory_order_acquire);
+      if (a != 0 && a < minEra) minEra = a;
+    }
+  }
+  // retired_ is era-ascending: free the prefix with era < minEra (every
+  // pinned reader announced a later era, so none can hold those).
+  std::size_t freed = 0;
+  while (freed < retired_.size() && retired_[freed].era < minEra) {
+    delete retired_[freed].ptr;
+    ++freed;
+  }
+  if (freed > 0) {
+    retired_.erase(retired_.begin(),
+                   retired_.begin() + static_cast<std::ptrdiff_t>(freed));
+    retiredCount_.store(retired_.size(), std::memory_order_relaxed);
+    reclaimedCount_.fetch_add(freed, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace lfpr
