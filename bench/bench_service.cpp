@@ -18,10 +18,13 @@
 // micro-kernels.
 //
 //   ./bench_service [--json out.json]
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
@@ -61,9 +64,19 @@ struct MixedLoadResult {
 
 MixedLoadResult runMixedLoad(const CsrGraph& initial,
                              const bench::BenchConfig& cfg,
-                             std::size_t batchEdges, std::uint64_t seed) {
+                             std::size_t batchEdges, std::uint64_t seed,
+                             const std::string& durabilityDir = {}) {
   ServiceOptions sopt;
   sopt.solver = bench::benchOptions(cfg, initial.numVertices());
+  if (!durabilityDir.empty()) {
+    // Journal-on run (PR 7): measure the write-ahead append + fsync on
+    // the submit path in isolation — checkpoint cadence off so the
+    // number is journal overhead, not snapshot-write overhead.
+    std::filesystem::remove_all(durabilityDir);
+    sopt.durability.directory = durabilityDir;
+    sopt.durability.fsync = FsyncPolicy::Batch;
+    sopt.durability.checkpointEverySolves = 0;
+  }
   RankService service(initial, sopt);
   service.waitForEpoch(1);
 
@@ -182,14 +195,28 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(initial.numEdges()), kNumBatches,
               batchEdges, kReaderThreads);
 
-  Table table({"repetition", "ingest_Medges/s", "query_p50_us", "query_p99_us",
-               "staleness_mean_ms", "staleness_max_ms", "publishes"});
+  // Journal-on twin of every repetition (PR 7): same batches, same
+  // seeds, durability directory on a scratch path with Batch fsync. The
+  // CI gate checks the journaled/plain ingest ratio within one JSON file
+  // (host-invariant), so both must come from the same process.
+  const std::string journalDir =
+      (std::filesystem::temp_directory_path() /
+       ("lfpr-bench-journal-" + std::to_string(::getpid())))
+          .string();
+
+  Table table({"repetition", "ingest_Medges/s", "journaled_Medges/s",
+               "query_p50_us", "query_p99_us", "staleness_mean_ms",
+               "staleness_max_ms", "publishes"});
   std::string entries;
   for (int rep = 0; rep < cfg.repeats; ++rep) {
     const auto r = runMixedLoad(initial, cfg, batchEdges,
                                 900 + static_cast<std::uint64_t>(rep));
+    const auto rj = runMixedLoad(initial, cfg, batchEdges,
+                                 900 + static_cast<std::uint64_t>(rep),
+                                 journalDir);
     table.addRow({Table::count(static_cast<std::uint64_t>(rep)),
                   Table::num(r.edgesPerSec / 1e6, 3),
+                  Table::num(rj.edgesPerSec / 1e6, 3),
                   Table::num(r.p50Ns / 1e3, 2), Table::num(r.p99Ns / 1e3, 2),
                   Table::num(r.meanAgeMs, 2), Table::num(r.maxAgeMs, 2),
                   Table::count(r.publishes)});
@@ -197,6 +224,9 @@ int main(int argc, char** argv) {
     appendEntry(entries, "BM_ServiceIngest", rep, cfg.repeats,
                 r.ingestMs * 1e6,
                 field("items_per_second", r.edgesPerSec));
+    appendEntry(entries, "BM_ServiceIngestJournaled", rep, cfg.repeats,
+                rj.ingestMs * 1e6,
+                field("items_per_second", rj.edgesPerSec));
     appendEntry(entries, "BM_ServiceQuery", rep, cfg.repeats, r.p50Ns,
                 field("items_per_second", r.queriesPerSec) + ", " +
                     field("p50_ns", r.p50Ns) + ", " + field("p99_ns", r.p99Ns));
@@ -206,6 +236,7 @@ int main(int argc, char** argv) {
                     field("max_age_ms", r.maxAgeMs) + ", " +
                     field("max_pending_batches", r.maxPendingBatches));
   }
+  std::filesystem::remove_all(journalDir);
   table.print(std::cout);
 
   if (!jsonPath.empty()) {

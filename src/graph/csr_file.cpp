@@ -2,13 +2,13 @@
 
 #include <cstring>
 #include <filesystem>
-#include <fstream>
 #include <limits>
 #include <memory>
 
 #include <unistd.h>
 
 #include "util/checksum.hpp"
+#include "util/io_retry.hpp"
 
 namespace lfpr {
 
@@ -50,18 +50,17 @@ std::span<const std::byte> asBytes(std::span<const T> s) {
 
 class SectionWriter {
  public:
-  explicit SectionWriter(std::ofstream& os) : os_(os) {}
+  explicit SectionWriter(io::FdFile& out) : out_(out) {}
 
   template <typename T>
   void write(std::span<const T> s) {
     const auto bytes = asBytes(s);
-    os_.write(reinterpret_cast<const char*>(bytes.data()),
-              static_cast<std::streamsize>(bytes.size()));
+    out_.write(bytes.data(), bytes.size(), "csr.write");
     sum_.update(bytes);
     const std::uint64_t pad = padded(bytes.size()) - bytes.size();
     if (pad != 0) {
       static constexpr char zeros[kAlign] = {};
-      os_.write(zeros, static_cast<std::streamsize>(pad));
+      out_.write(zeros, pad, "csr.write");
       sum_.update(std::as_bytes(std::span(zeros, pad)));
     }
   }
@@ -69,7 +68,7 @@ class SectionWriter {
   [[nodiscard]] std::uint64_t checksum() const { return sum_.value(); }
 
  private:
-  std::ofstream& os_;
+  io::FdFile& out_;
   Checksum64 sum_;
 };
 
@@ -94,30 +93,36 @@ void writeCsrFile(const std::string& path, const CsrGraph& g) {
   // scratch is unlinked — a scale-2 snapshot is hundreds of MB, and
   // orphaned tmp files would pile up in the dataset cache.
   const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  const std::string what = "csr snapshot '" + path + "'";
   try {
     {
-      std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-      if (!os) fail(path, "cannot open '" + tmp + "' for writing");
+      io::FdFile out = io::FdFile::create(tmp, what, "csr.open");
       // Header first as a placeholder: the checksum is only known after
-      // the payload pass, so it is backpatched before the rename
-      // publishes the file.
-      os.write(reinterpret_cast<const char*>(&h), sizeof(h));
-      SectionWriter w(os);
+      // the payload pass, so it is backpatched (pwrite at offset 0)
+      // before the fsync-then-rename publishes the file.
+      out.write(&h, sizeof(h), "csr.write");
+      SectionWriter w(out);
       w.write(g.outOffsets());
       w.write(g.outTargets());
       w.write(g.inOffsets());
       w.write(g.inSources());
       w.write(g.invOutDegrees());
-      if (!os) fail(path, "write failed (disk full?)");
       h.checksum = w.checksum();
-      os.seekp(0);
-      os.write(reinterpret_cast<const char*>(&h), sizeof(h));
-      os.flush();
-      if (!os) fail(path, "flush failed");
+      out.pwriteAt(&h, sizeof(h), 0, "csr.backpatch");
+      out.sync("csr.fsync");
+      out.close();
     }
-    std::error_code ec;
-    std::filesystem::rename(tmp, path, ec);
-    if (ec) fail(path, "rename from '" + tmp + "' failed: " + ec.message());
+    io::renameFile(tmp, path, what, "csr.rename");
+    io::fsyncDirectory(std::filesystem::path(path).parent_path().string());
+  } catch (const FailPointAbort&) {
+    // Simulated process death: a real crash would not unlink the tmp —
+    // recovery's stale-tmp sweep owns that cleanup.
+    throw;
+  } catch (const io::IoError& e) {
+    std::error_code ignored;
+    std::filesystem::remove(tmp, ignored);
+    throw CsrFileError("csr snapshot '" + path + "': " + e.what(),
+                       e.errnoValue());
   } catch (...) {
     std::error_code ignored;
     std::filesystem::remove(tmp, ignored);
@@ -182,6 +187,21 @@ CsrGraph mapCsrFile(const std::string& path) {
 
   g.store_ = std::move(store);
   return g;
+}
+
+std::uint64_t csrFileChecksum(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr)
+    fail(path, std::string("cannot open: ") + std::strerror(errno));
+  CsrFileHeader h{};
+  const std::size_t got = std::fread(&h, 1, sizeof(h), f);
+  std::fclose(f);
+  if (got != sizeof(h)) fail(path, "truncated: file is smaller than the header");
+  if (std::memcmp(h.magic, kCsrFileMagic, sizeof(h.magic)) != 0)
+    fail(path, "bad magic (not a CSR snapshot file)");
+  if (h.version != kCsrFileVersion)
+    fail(path, "unsupported format version " + std::to_string(h.version));
+  return h.checksum;
 }
 
 CsrGraph readCsrFile(const std::string& path) {

@@ -19,6 +19,7 @@
 // path and the failure.
 #pragma once
 
+#include <cerrno>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
@@ -44,11 +45,24 @@ static_assert(sizeof(CsrFileHeader) == 48, "header layout is part of the format"
 class CsrFileError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
+  CsrFileError(const std::string& what, int err)
+      : std::runtime_error(what), errno_(err) {}
+
+  /// errno of the underlying syscall failure, 0 for format errors.
+  [[nodiscard]] int errnoValue() const noexcept { return errno_; }
+  [[nodiscard]] bool diskFull() const noexcept { return errno_ == ENOSPC; }
+
+ private:
+  int errno_ = 0;
 };
 
-/// Serialize a snapshot. Writes to `path` + ".tmp" then renames, so a
-/// crashed writer never leaves a plausible-looking partial snapshot
-/// behind. Throws CsrFileError on I/O failure.
+/// Serialize a snapshot. Writes to `path` + ".tmp" then fsyncs and
+/// renames, so a crashed writer never leaves a plausible-looking partial
+/// snapshot behind. Transient write failures (EINTR/EAGAIN, short
+/// writes) are retried with bounded backoff; permanent ones throw
+/// CsrFileError (wrapping the errno text — disk-full is detectable by
+/// callers via the nested io::IoError where they need to degrade rather
+/// than fail).
 void writeCsrFile(const std::string& path, const CsrGraph& g);
 
 /// Zero-copy load: validate the file, then return a CsrGraph borrowing
@@ -60,5 +74,10 @@ CsrGraph mapCsrFile(const std::string& path);
 /// Owned load: like mapCsrFile but copies the arrays into process-owned
 /// vectors (no mapping outlives the call).
 CsrGraph readCsrFile(const std::string& path);
+
+/// The payload checksum recorded in `path`'s header (magic/version
+/// validated, payload not re-read). The checkpoint sidecar stores this to
+/// bind its meta half to one specific csr half.
+std::uint64_t csrFileChecksum(const std::string& path);
 
 }  // namespace lfpr

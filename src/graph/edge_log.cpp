@@ -10,6 +10,7 @@
 #include <unistd.h>
 
 #include "util/checksum.hpp"
+#include "util/io_retry.hpp"
 
 namespace lfpr {
 
@@ -85,21 +86,28 @@ void writeTemporalEdgeLog(const std::string& path, const TemporalEdgeListData& d
 
   // Process-unique scratch, unlinked on failure (see writeCsrFile):
   // concurrent writers never interleave into one tmp, failed writes
-  // never orphan one.
+  // never orphan one. Transient errors retry in io::writeFully; a
+  // fail-point kill leaves the tmp for the recovery sweep, like a real
+  // crash would.
   const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  const std::string what = "edge log '" + path + "'";
   try {
     {
-      std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-      if (!os) fail(path, "cannot open '" + tmp + "' for writing");
-      os.write(reinterpret_cast<const char*>(&h), sizeof(h));
-      os.write(reinterpret_cast<const char*>(stream.data()),
-               static_cast<std::streamsize>(h.payloadBytes));
-      os.flush();
-      if (!os) fail(path, "write failed (disk full?)");
+      io::FdFile out = io::FdFile::create(tmp, what, "elog.open");
+      out.write(&h, sizeof(h), "elog.write");
+      if (h.payloadBytes != 0)
+        out.write(stream.data(), h.payloadBytes, "elog.write");
+      out.sync("elog.fsync");
+      out.close();
     }
-    std::error_code ec;
-    std::filesystem::rename(tmp, path, ec);
-    if (ec) fail(path, "rename from '" + tmp + "' failed: " + ec.message());
+    io::renameFile(tmp, path, what, "elog.rename");
+    io::fsyncDirectory(std::filesystem::path(path).parent_path().string());
+  } catch (const FailPointAbort&) {
+    throw;
+  } catch (const io::IoError& e) {
+    std::error_code ignored;
+    std::filesystem::remove(tmp, ignored);
+    fail(path, e.what());
   } catch (...) {
     std::error_code ignored;
     std::filesystem::remove(tmp, ignored);
@@ -145,14 +153,34 @@ void verifyTemporalEdgeLog(const std::string& path) {
   if (sum.value() != h.checksum) fail(path, "checksum mismatch (corrupt file)");
 }
 
-TemporalEdgeLogReader::TemporalEdgeLogReader(const std::string& path)
+TemporalEdgeLogReader::TemporalEdgeLogReader(const std::string& path,
+                                             LogTailPolicy tail)
     : is_(path, std::ios::binary), path_(path) {
   if (!is_) fail(path, "cannot open");
   const EdgeLogHeader h = readAndCheckHeader(is_, path);
-  checkFileSize(h, path);
   numVertices_ = static_cast<VertexId>(h.numVertices);
   numEdges_ = h.numEdges;
   numStaticEdges_ = h.numStaticEdges;
+  if (tail == LogTailPolicy::Strict) {
+    checkFileSize(h, path);
+    return;
+  }
+  // QuarantineTorn: clamp to the last complete record instead of
+  // rejecting a short file — a crashed appender's torn final write is
+  // clean EOF, not corruption. Oversize stays a hard error (see hpp).
+  const auto size = fileSizeOrFail(path);
+  const auto expected = sizeof(EdgeLogHeader) + h.payloadBytes;
+  if (size > expected)
+    fail(path, "oversize: expected " + std::to_string(expected) +
+                   " bytes, file has " + std::to_string(size));
+  if (size < expected) {
+    const std::uint64_t payloadAvail =
+        size > sizeof(EdgeLogHeader) ? size - sizeof(EdgeLogHeader) : 0;
+    numEdges_ = payloadAvail / sizeof(TemporalEdge);
+    tornTail_ = true;
+    // The torn bytes physically present past the last whole record.
+    quarantinedBytes_ = payloadAvail % sizeof(TemporalEdge);
+  }
 }
 
 void TemporalEdgeLogReader::seek(EdgeId index) {

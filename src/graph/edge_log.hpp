@@ -60,17 +60,40 @@ TemporalEdgeListData readTemporalEdgeLog(const std::string& path);
 /// EdgeLogError on any corruption.
 void verifyTemporalEdgeLog(const std::string& path);
 
+/// How a reader treats a file shorter than its header promises.
+///
+///   Strict          any size mismatch is a hard EdgeLogError — the
+///                   dataset-cache contract (a cache entry was written
+///                   in full or it is garbage);
+///   QuarantineTorn  a *shorter* file is read up to the last complete
+///                   record and the torn tail is reported, not thrown —
+///                   the append/crash contract (a torn final write must
+///                   not make the whole log unrecoverable). A *longer*
+///                   file is still a hard error: appends past the
+///                   recorded count are not a crash artifact.
+enum class LogTailPolicy { Strict, QuarantineTorn };
+
 /// Streaming reader with bounded memory: validates the header and size
 /// arithmetic on open (use verifyTemporalEdgeLog for the checksum pass —
 /// a cursor that stops early never sees the whole payload), then serves
 /// arbitrary-position chunk reads.
 class TemporalEdgeLogReader {
  public:
-  explicit TemporalEdgeLogReader(const std::string& path);
+  explicit TemporalEdgeLogReader(const std::string& path,
+                                 LogTailPolicy tail = LogTailPolicy::Strict);
 
   [[nodiscard]] VertexId numVertices() const noexcept { return numVertices_; }
   [[nodiscard]] EdgeId numEdges() const noexcept { return numEdges_; }
   [[nodiscard]] EdgeId numStaticEdges() const noexcept { return numStaticEdges_; }
+
+  /// QuarantineTorn only: true when the file ended before the header's
+  /// record count; numEdges() was clamped to the complete records.
+  [[nodiscard]] bool tornTail() const noexcept { return tornTail_; }
+
+  /// Bytes past the last complete record (0 when the file was clean).
+  [[nodiscard]] std::uint64_t quarantinedBytes() const noexcept {
+    return quarantinedBytes_;
+  }
 
   /// Position the cursor at record `index` (clamped to the record count).
   void seek(EdgeId index);
@@ -86,6 +109,8 @@ class TemporalEdgeLogReader {
   EdgeId numEdges_ = 0;
   EdgeId numStaticEdges_ = 0;
   EdgeId pos_ = 0;
+  bool tornTail_ = false;
+  std::uint64_t quarantinedBytes_ = 0;
 };
 
 }  // namespace lfpr

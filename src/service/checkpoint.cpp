@@ -1,0 +1,188 @@
+#include "service/checkpoint.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <span>
+#include <string_view>
+
+#include "graph/csr_file.hpp"
+#include "util/checksum.hpp"
+#include "util/io_retry.hpp"
+#include "util/mmap_file.hpp"
+
+namespace lfpr {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string csrPath(const std::string& dir, std::uint64_t epoch) {
+  return dir + "/ckpt-" + std::to_string(epoch) + ".csr";
+}
+
+std::string metaPath(const std::string& dir, std::uint64_t epoch) {
+  return dir + "/ckpt-" + std::to_string(epoch) + ".meta";
+}
+
+/// Parse "ckpt-<epoch>.meta" -> epoch; nullopt for anything else.
+std::optional<std::uint64_t> metaEpoch(const fs::path& p) {
+  const std::string name = p.filename().string();
+  constexpr std::string_view prefix = "ckpt-";
+  constexpr std::string_view suffix = ".meta";
+  if (name.size() <= prefix.size() + suffix.size() ||
+      name.compare(0, prefix.size(), prefix) != 0 ||
+      name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0)
+    return std::nullopt;
+  const std::string digits =
+      name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+  if (digits.empty() ||
+      digits.find_first_not_of("0123456789") != std::string::npos)
+    return std::nullopt;
+  return std::strtoull(digits.c_str(), nullptr, 10);
+}
+
+}  // namespace
+
+void writeCheckpoint(const std::string& dir, const CheckpointData& data) {
+  // The csr half first: meta's existence implies "my csr is complete",
+  // which only holds if the csr rename happened before the meta rename.
+  const std::string csr = csrPath(dir, data.epoch);
+  writeCsrFile(csr, data.graph);
+
+  CheckpointHeader h{};
+  std::memcpy(h.magic, kCheckpointMagic, sizeof(h.magic));
+  h.version = kCheckpointVersion;
+  h.headerBytes = sizeof(CheckpointHeader);
+  h.epoch = data.epoch;
+  h.journalSeq = data.journalSeq;
+  h.numVertices = data.ranks.size();
+  h.batchesApplied = data.batchesApplied;
+  h.edgesIngested = data.edgesIngested;
+  h.iterations = static_cast<std::uint32_t>(std::max(data.iterations, 0));
+  h.toleranceBound = data.toleranceBound;
+  h.csrChecksum = csrFileChecksum(csr);
+  h.payloadBytes = data.ranks.size() * sizeof(double);
+  h.checksum = checksum64(std::as_bytes(std::span(data.ranks)));
+
+  const std::string meta = metaPath(dir, data.epoch);
+  const std::string what = "checkpoint '" + meta + "'";
+  const std::string tmp = meta + ".tmp." + std::to_string(::getpid());
+  try {
+    {
+      io::FdFile out = io::FdFile::create(tmp, what, "ckpt.meta.open");
+      out.write(&h, sizeof(h), "ckpt.meta.write");
+      if (!data.ranks.empty())
+        out.write(data.ranks.data(), h.payloadBytes, "ckpt.meta.write");
+      out.sync("ckpt.meta.fsync");
+      out.close();
+    }
+    io::renameFile(tmp, meta, what, "ckpt.meta.rename");
+    io::fsyncDirectory(dir);
+  } catch (const FailPointAbort&) {
+    throw;  // a real crash leaves the tmp; sweepStaleTmpFiles handles it
+  } catch (...) {
+    std::error_code ignored;
+    fs::remove(tmp, ignored);
+    fs::remove(csr, ignored);  // an orphan csr half is just noise
+    throw;
+  }
+}
+
+std::optional<CheckpointData> loadNewestCheckpoint(
+    const std::string& dir, VertexId numVertices,
+    const std::function<void(const std::string&)>& onWarning) {
+  const auto warn = [&](const std::string& m) {
+    if (onWarning) onWarning(m);
+  };
+
+  std::vector<std::uint64_t> epochs;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec))
+    if (const auto e = metaEpoch(entry.path())) epochs.push_back(*e);
+  if (ec) return std::nullopt;  // unreadable dir = no checkpoint
+  std::sort(epochs.rbegin(), epochs.rend());
+
+  for (const std::uint64_t epoch : epochs) {
+    const std::string meta = metaPath(dir, epoch);
+    const std::string csr = csrPath(dir, epoch);
+    try {
+      const MmapFile map = MmapFile::open(meta);
+      const auto bytes = map.bytes();
+      CheckpointHeader h{};
+      if (bytes.size() < sizeof(h))
+        throw CheckpointError("truncated: smaller than the header");
+      std::memcpy(&h, bytes.data(), sizeof(h));
+      if (std::memcmp(h.magic, kCheckpointMagic, sizeof(h.magic)) != 0)
+        throw CheckpointError("bad magic");
+      if (h.version != kCheckpointVersion)
+        throw CheckpointError("unsupported version " +
+                              std::to_string(h.version));
+      if (h.headerBytes != sizeof(CheckpointHeader))
+        throw CheckpointError("header size mismatch");
+      if (h.epoch != epoch)
+        throw CheckpointError("epoch field disagrees with the file name");
+      if (h.numVertices != numVertices)
+        throw CheckpointError("vertex count " + std::to_string(h.numVertices) +
+                              " does not match the service's " +
+                              std::to_string(numVertices));
+      if (h.payloadBytes != h.numVertices * sizeof(double) ||
+          bytes.size() != sizeof(h) + h.payloadBytes)
+        throw CheckpointError("rank payload size mismatch");
+      const auto payload = bytes.subspan(sizeof(h));
+      if (checksum64(payload) != h.checksum)
+        throw CheckpointError("rank payload checksum mismatch");
+      if (csrFileChecksum(csr) != h.csrChecksum)
+        throw CheckpointError("paired csr checksum disagrees with the meta");
+
+      CheckpointData data;
+      data.epoch = h.epoch;
+      data.journalSeq = h.journalSeq;
+      data.batchesApplied = h.batchesApplied;
+      data.edgesIngested = h.edgesIngested;
+      data.iterations = static_cast<int>(h.iterations);
+      data.toleranceBound = h.toleranceBound;
+      data.ranks.resize(static_cast<std::size_t>(h.numVertices));
+      if (!data.ranks.empty())
+        std::memcpy(data.ranks.data(), payload.data(), payload.size());
+      data.graph = mapCsrFile(csr);  // full validation + checksum pass
+      return data;
+    } catch (const FailPointAbort&) {
+      throw;
+    } catch (const std::exception& e) {
+      warn("checkpoint epoch " + std::to_string(epoch) + " in '" + dir +
+           "' is invalid (" + e.what() + "); trying the next older one");
+    }
+  }
+  return std::nullopt;
+}
+
+void pruneCheckpoints(const std::string& dir, std::uint64_t keepEpoch) {
+  std::error_code ec;
+  std::vector<fs::path> doomed;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("ckpt-", 0) != 0) continue;
+    const auto asMeta = entry.path();
+    // Reuse the meta parser for both halves by normalizing the suffix.
+    fs::path probe = asMeta;
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".csr") == 0)
+      probe.replace_extension(".meta");
+    const auto epoch = metaEpoch(probe);
+    if (epoch && *epoch != keepEpoch) doomed.push_back(entry.path());
+  }
+  for (const auto& p : doomed) fs::remove(p, ec);
+}
+
+void sweepStaleTmpFiles(const std::string& dir) {
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.find(".tmp.") != std::string::npos) fs::remove(entry.path(), ec);
+  }
+}
+
+}  // namespace lfpr

@@ -1,0 +1,94 @@
+// Service checkpoints (the PR 7 tentpole's second leg).
+//
+// Every K converged solves the service persists its state as an
+// epoch-named pair in the durability directory:
+//
+//   ckpt-<epoch>.csr    the graph at that epoch (csr_file format — the
+//                       PR 4 snapshot machinery, checksummed + mmap-read)
+//   ckpt-<epoch>.meta   96-byte checksummed sidecar + the rank vector:
+//                       published epoch, journal seq the graph covers,
+//                       the §4.5 certificate, counters, and the paired
+//                       csr file's checksum
+//
+// The pair is written csr-then-meta, each tmp-then-rename. A checkpoint
+// is valid only when both halves verify AND the meta's recorded csr
+// checksum matches the csr file actually present — so a crash anywhere
+// mid-write leaves either the previous complete pair or one orphan half,
+// never a plausible-but-mixed state. Old pairs are pruned only after a
+// new pair lands; recovery takes the newest valid pair and skips (with a
+// warning) anything torn.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/types.hpp"
+
+namespace lfpr {
+
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+inline constexpr char kCheckpointMagic[8] = {'L', 'F', 'P', 'R',
+                                             'C', 'K', 'P', '\n'};
+
+struct CheckpointHeader {
+  char magic[8];
+  std::uint32_t version;
+  std::uint32_t headerBytes;
+  std::uint64_t epoch;
+  std::uint64_t journalSeq;
+  std::uint64_t numVertices;
+  std::uint64_t batchesApplied;
+  std::uint64_t edgesIngested;
+  std::uint32_t iterations;
+  std::uint32_t flags;  // reserved
+  double toleranceBound;
+  std::uint64_t csrChecksum;   // paired ckpt-<epoch>.csr payload checksum
+  std::uint64_t payloadBytes;  // numVertices x sizeof(double)
+  std::uint64_t checksum;      // checksum64 over the rank payload
+};
+static_assert(sizeof(CheckpointHeader) == 96,
+              "header layout is part of the format");
+
+class CheckpointError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Everything recovery needs to resume as if the crash never happened:
+/// the graph, the warm ranks, and where the journal replay starts.
+struct CheckpointData {
+  std::uint64_t epoch = 0;
+  std::uint64_t journalSeq = 0;
+  std::uint64_t batchesApplied = 0;
+  std::uint64_t edgesIngested = 0;
+  int iterations = 0;
+  double toleranceBound = 0.0;
+  std::vector<double> ranks;
+  CsrGraph graph;
+};
+
+/// Write the pair for `data` (data.graph must be the epoch's CSR).
+/// Throws CsrFileError / io::IoError on failure; the caller decides
+/// whether that degrades the service or just skips the cadence tick.
+void writeCheckpoint(const std::string& dir, const CheckpointData& data);
+
+/// Scan `dir` for the newest pair that fully verifies. Invalid or
+/// half-written pairs are skipped with a warning, never deleted — a
+/// newer-but-torn pair must not shadow an older good one.
+std::optional<CheckpointData> loadNewestCheckpoint(
+    const std::string& dir, VertexId numVertices,
+    const std::function<void(const std::string&)>& onWarning);
+
+/// Delete every pair except `keepEpoch` (called after a new pair lands).
+void pruneCheckpoints(const std::string& dir, std::uint64_t keepEpoch);
+
+/// Delete stray "*.tmp.<pid>" scratch files a crashed writer left in
+/// `dir` (single-writer directories only — the service's contract).
+void sweepStaleTmpFiles(const std::string& dir);
+
+}  // namespace lfpr

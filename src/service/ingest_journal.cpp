@@ -1,0 +1,448 @@
+#include "service/ingest_journal.hpp"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <span>
+#include <utility>
+
+#include "util/checksum.hpp"
+#include "util/io_retry.hpp"
+
+namespace lfpr {
+
+namespace {
+
+/// Serialized record: header then deletions then insertions, one
+/// contiguous buffer so the append is a single write(2) — the torn-tail
+/// scanner then sees at most one partial record, never an interleaving.
+std::vector<std::byte> encodeRecord(std::uint64_t seq,
+                                    const BatchUpdate& batch) {
+  JournalRecordHeader rh{};
+  rh.seq = seq;
+  rh.numDeletions = static_cast<std::uint32_t>(batch.deletions.size());
+  rh.numInsertions = static_cast<std::uint32_t>(batch.insertions.size());
+  Checksum64 sum;
+  sum.update(std::as_bytes(std::span(batch.deletions)));
+  sum.update(std::as_bytes(std::span(batch.insertions)));
+  rh.checksum = sum.value();
+
+  std::vector<std::byte> buf(sizeof(rh) + batch.size() * sizeof(Edge));
+  std::byte* p = buf.data();
+  std::memcpy(p, &rh, sizeof(rh));
+  p += sizeof(rh);
+  if (!batch.deletions.empty()) {
+    std::memcpy(p, batch.deletions.data(),
+                batch.deletions.size() * sizeof(Edge));
+    p += batch.deletions.size() * sizeof(Edge);
+  }
+  if (!batch.insertions.empty())
+    std::memcpy(p, batch.insertions.data(),
+                batch.insertions.size() * sizeof(Edge));
+  return buf;
+}
+
+std::uint64_t readFully(int fd, void* out, std::uint64_t len,
+                        std::uint64_t offset) {
+  char* p = static_cast<char*>(out);
+  std::uint64_t got = 0;
+  while (got < len) {
+    const ::ssize_t n = ::pread(fd, p + got, len - got,
+                                static_cast<off_t>(offset + got));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;
+    got += static_cast<std::uint64_t>(n);
+  }
+  return got;
+}
+
+}  // namespace
+
+IngestJournal::IngestJournal(std::string path, VertexId numVertices,
+                             Options opt)
+    : path_(std::move(path)), numVertices_(numVertices), opt_(std::move(opt)) {
+  LFPR_FAILPOINT("journal.open");
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0)
+    throw JournalError("ingest journal '" + path_ +
+                       "': cannot open: " + std::strerror(errno));
+  try {
+    scanExisting();
+  } catch (...) {
+    ::close(fd_);
+    fd_ = -1;
+    throw;
+  }
+  startFlusher();
+}
+
+IngestJournal::~IngestJournal() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopFlusher_ = true;
+  }
+  flushCv_.notify_all();
+  syncCv_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
+  if (fd_ >= 0) {
+    if (opt_.fsync != FsyncPolicy::None) {
+      try {
+        io::fsyncRetry(fd_, "ingest journal '" + path_ + "'",
+                       "journal.append.fsync");
+      } catch (...) {
+        // Destructor: a failed final sync only weakens the last window's
+        // durability, which recovery already tolerates.
+      }
+    }
+    ::close(fd_);
+  }
+}
+
+void IngestJournal::warn(const std::string& message) const {
+  if (opt_.onWarning) opt_.onWarning(message);
+}
+
+void IngestJournal::writeHeader() {
+  JournalHeader h{};
+  std::memcpy(h.magic, kJournalMagic, sizeof(h.magic));
+  h.version = kJournalVersion;
+  h.headerBytes = sizeof(JournalHeader);
+  h.numVertices = numVertices_;
+  io::pwriteFully(fd_, &h, sizeof(h), 0, "ingest journal '" + path_ + "'",
+                  "journal.append.write");
+  tailOffset_ = sizeof(JournalHeader);
+}
+
+void IngestJournal::quarantineTail(std::uint64_t fromOffset,
+                                   std::uint64_t fileSize,
+                                   const std::string& why) {
+  const std::uint64_t bytes = fileSize - fromOffset;
+  quarantinedBytes_ += bytes;
+  // Preserve the suspect bytes for forensics — best effort; losing the
+  // quarantine copy must not block recovery.
+  const std::string side = path_ + ".torn";
+  const int sfd =
+      ::open(side.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (sfd >= 0) {
+    std::vector<std::byte> buf(bytes);
+    const std::uint64_t got = readFully(fd_, buf.data(), bytes, fromOffset);
+    try {
+      io::writeFully(sfd, buf.data(), got, "journal quarantine '" + side + "'",
+                     "journal.quarantine.write");
+    } catch (const FailPointAbort&) {
+      ::close(sfd);
+      throw;
+    } catch (...) {
+      // forensics only
+    }
+    ::close(sfd);
+  }
+  // The truncation is load-bearing: appends must land on a well-formed
+  // tail, not after torn bytes.
+  while (::ftruncate(fd_, static_cast<off_t>(fromOffset)) != 0) {
+    if (errno == EINTR) continue;
+    throw JournalError("ingest journal '" + path_ +
+                       "': cannot truncate torn tail: " + std::strerror(errno));
+  }
+  tailOffset_ = fromOffset;
+  warn("ingest journal '" + path_ + "': quarantined " + std::to_string(bytes) +
+       " torn tail bytes (" + why + "); treating as clean EOF");
+}
+
+void IngestJournal::quarantineWholeFile(const std::string& why) {
+  struct ::stat st{};
+  const std::uint64_t size =
+      ::fstat(fd_, &st) == 0 ? static_cast<std::uint64_t>(st.st_size) : 0;
+  quarantinedBytes_ += size;
+  const std::string side = path_ + ".torn-file";
+  std::error_code ignored;
+  std::filesystem::copy_file(path_, side,
+                             std::filesystem::copy_options::overwrite_existing,
+                             ignored);  // forensics, best effort
+  while (::ftruncate(fd_, 0) != 0) {
+    if (errno == EINTR) continue;
+    throw JournalError("ingest journal '" + path_ +
+                       "': cannot reset corrupt file: " + std::strerror(errno));
+  }
+  warn("ingest journal '" + path_ + "': unreadable header (" + why +
+       "); quarantined " + std::to_string(size) + " bytes and started fresh");
+  writeHeader();
+}
+
+void IngestJournal::scanExisting() {
+  struct ::stat st{};
+  if (::fstat(fd_, &st) != 0)
+    throw JournalError("ingest journal '" + path_ +
+                       "': cannot stat: " + std::strerror(errno));
+  const auto fileSize = static_cast<std::uint64_t>(st.st_size);
+
+  if (fileSize == 0) {
+    writeHeader();
+    return;
+  }
+
+  JournalHeader h{};
+  if (fileSize < sizeof(h) ||
+      readFully(fd_, &h, sizeof(h), 0) != sizeof(h) ||
+      std::memcmp(h.magic, kJournalMagic, sizeof(h.magic)) != 0 ||
+      h.version != kJournalVersion || h.headerBytes != sizeof(JournalHeader)) {
+    quarantineWholeFile("bad magic/version/size");
+    return;
+  }
+  if (h.numVertices != numVertices_) {
+    quarantineWholeFile("vertex count " + std::to_string(h.numVertices) +
+                        " does not match the service's " +
+                        std::to_string(numVertices_));
+    return;
+  }
+
+  // Records carry explicit seqs and must increase by exactly 1; the
+  // first record's seq is whatever checkpoint-coverage resets left as
+  // the base (1 for a virgin journal).
+  std::uint64_t offset = sizeof(JournalHeader);
+  std::uint64_t expectSeq = 0;  // 0 = accept any first seq >= 1
+  bool torn = false;
+  while (offset < fileSize) {
+    JournalRecordHeader rh{};
+    if (fileSize - offset < sizeof(rh)) {
+      quarantineTail(offset, fileSize, "partial record header");
+      torn = true;
+      break;
+    }
+    readFully(fd_, &rh, sizeof(rh), offset);
+    const std::uint64_t payloadBytes =
+        (static_cast<std::uint64_t>(rh.numDeletions) + rh.numInsertions) *
+        sizeof(Edge);
+    if (rh.seq == 0 || (expectSeq != 0 && rh.seq != expectSeq)) {
+      quarantineTail(offset, fileSize,
+                     "sequence break at record " + std::to_string(expectSeq));
+      torn = true;
+      break;
+    }
+    expectSeq = rh.seq;
+    if (fileSize - offset - sizeof(rh) < payloadBytes) {
+      quarantineTail(offset, fileSize, "partial record payload");
+      torn = true;
+      break;
+    }
+    Record rec;
+    rec.seq = rh.seq;
+    rec.batch.deletions.resize(rh.numDeletions);
+    rec.batch.insertions.resize(rh.numInsertions);
+    std::uint64_t p = offset + sizeof(rh);
+    readFully(fd_, rec.batch.deletions.data(),
+              rh.numDeletions * sizeof(Edge), p);
+    p += rh.numDeletions * sizeof(Edge);
+    readFully(fd_, rec.batch.insertions.data(),
+              rh.numInsertions * sizeof(Edge), p);
+    Checksum64 sum;
+    sum.update(std::as_bytes(std::span(rec.batch.deletions)));
+    sum.update(std::as_bytes(std::span(rec.batch.insertions)));
+    if (sum.value() != rh.checksum) {
+      quarantineTail(offset, fileSize, "record checksum mismatch");
+      torn = true;
+      break;
+    }
+    bool inRange = true;
+    for (const Edge& e : rec.batch.deletions)
+      inRange = inRange && e.src < numVertices_ && e.dst < numVertices_;
+    for (const Edge& e : rec.batch.insertions)
+      inRange = inRange && e.src < numVertices_ && e.dst < numVertices_;
+    if (!inRange) {
+      quarantineTail(offset, fileSize, "edge endpoint out of range");
+      torn = true;
+      break;
+    }
+    recovered_.push_back(std::move(rec));
+    offset += sizeof(rh) + payloadBytes;
+    ++expectSeq;
+  }
+  if (!torn) tailOffset_ = offset;
+  if (expectSeq != 0) {  // at least one valid record scanned
+    nextSeq_ = expectSeq;
+    appendedSeq_ = expectSeq - 1;
+    syncedSeq_ = expectSeq - 1;
+  }
+}
+
+void IngestJournal::compactThrough(std::uint64_t through) {
+  if (through >= nextSeq_) nextSeq_ = through + 1;
+  const auto keepFrom = std::find_if(
+      recovered_.begin(), recovered_.end(),
+      [&](const Record& r) { return r.seq > through; });
+  if (keepFrom == recovered_.begin()) return;  // nothing covered, no rewrite
+  recovered_.erase(recovered_.begin(), keepFrom);
+
+  const std::string what = "ingest journal '" + path_ + "'";
+  const std::string tmp = path_ + ".tmp." + std::to_string(::getpid());
+  try {
+    {
+      io::FdFile out = io::FdFile::create(tmp, what, "journal.open");
+      JournalHeader h{};
+      std::memcpy(h.magic, kJournalMagic, sizeof(h.magic));
+      h.version = kJournalVersion;
+      h.headerBytes = sizeof(JournalHeader);
+      h.numVertices = numVertices_;
+      out.write(&h, sizeof(h), "journal.compact.write");
+      for (const Record& r : recovered_) {
+        const auto buf = encodeRecord(r.seq, r.batch);
+        out.write(buf.data(), buf.size(), "journal.compact.write");
+      }
+      out.sync("journal.append.fsync");
+      out.close();
+    }
+    io::renameFile(tmp, path_, what, "journal.compact.rename");
+    io::fsyncDirectory(std::filesystem::path(path_).parent_path().string());
+  } catch (const FailPointAbort&) {
+    throw;  // a real crash leaves the tmp behind; recovery sweeps it
+  } catch (...) {
+    std::error_code ignored;
+    std::filesystem::remove(tmp, ignored);
+    throw;
+  }
+
+  // Swap the fd to the compacted file.
+  const int nfd = ::open(path_.c_str(), O_RDWR | O_CLOEXEC);
+  if (nfd < 0)
+    throw JournalError(what + ": cannot reopen after compaction: " +
+                       std::strerror(errno));
+  ::close(fd_);
+  fd_ = nfd;
+  struct ::stat st{};
+  ::fstat(fd_, &st);
+  tailOffset_ = static_cast<std::uint64_t>(st.st_size);
+}
+
+std::vector<IngestJournal::Record> IngestJournal::takeRecovered() {
+  return std::exchange(recovered_, {});
+}
+
+std::uint64_t IngestJournal::append(const BatchUpdate& batch) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (broken_)
+    throw io::IoError("ingest journal '" + path_ +
+                          "': unusable after an unrecoverable write failure",
+                      EIO);
+  const std::uint64_t seq = nextSeq_;
+  const auto buf = encodeRecord(seq, batch);
+  // The scan and header rewrite use pread/pwrite, which leave the file
+  // offset wherever open() put it — position explicitly on the
+  // well-formed tail before the (offset-advancing) record write.
+  if (::lseek(fd_, static_cast<off_t>(tailOffset_), SEEK_SET) < 0)
+    throw io::IoError("ingest journal '" + path_ +
+                          "': cannot seek to tail: " + std::strerror(errno),
+                      errno);
+  try {
+    io::writeFully(fd_, buf.data(), buf.size(),
+                   "ingest journal '" + path_ + "'", "journal.append.write");
+  } catch (const FailPointAbort&) {
+    throw;  // simulated process death: no cleanup, like a real kill
+  } catch (...) {
+    // A partial append would corrupt the tail for every later record;
+    // roll the file back to the last good boundary before rethrowing.
+    if (::ftruncate(fd_, static_cast<off_t>(tailOffset_)) != 0) broken_ = true;
+    throw;
+  }
+  nextSeq_ = seq + 1;
+  appendedSeq_ = seq;
+  tailOffset_ += buf.size();
+
+  switch (opt_.fsync) {
+    case FsyncPolicy::None:
+      break;
+    case FsyncPolicy::Batch:
+      io::fsyncRetry(fd_, "ingest journal '" + path_ + "'",
+                     "journal.append.fsync");
+      syncedSeq_ = seq;
+      break;
+    case FsyncPolicy::GroupCommit:
+      lock.unlock();
+      flushCv_.notify_one();
+      break;
+  }
+  return seq;
+}
+
+bool IngestJournal::waitDurable(std::uint64_t seq) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (opt_.fsync != FsyncPolicy::GroupCommit)
+    return syncedSeq_ >= seq || opt_.fsync == FsyncPolicy::None;
+  syncCv_.wait(lock, [&] {
+    return syncedSeq_ >= seq || syncFailed_ || stopFlusher_;
+  });
+  return syncedSeq_ >= seq;
+}
+
+bool IngestJournal::resetIfCovered(std::uint64_t through) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (broken_ || appendedSeq_ > through) return false;
+  if (tailOffset_ == sizeof(JournalHeader)) return true;  // already empty
+  LFPR_FAILPOINT("journal.reset.truncate");
+  while (::ftruncate(fd_, sizeof(JournalHeader)) != 0) {
+    if (errno == EINTR) continue;
+    return false;
+  }
+  tailOffset_ = sizeof(JournalHeader);
+  return true;
+}
+
+std::uint64_t IngestJournal::lastSeq() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return nextSeq_ - 1;
+}
+
+void IngestJournal::startFlusher() {
+  if (opt_.fsync != FsyncPolicy::GroupCommit) return;
+  flusher_ = std::thread([this] { flusherLoop(); });
+}
+
+void IngestJournal::flusherLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    flushCv_.wait(lock, [&] {
+      return stopFlusher_ || appendedSeq_ > syncedSeq_;
+    });
+    if (appendedSeq_ <= syncedSeq_) {
+      if (stopFlusher_) return;
+      continue;
+    }
+    // Bounded-latency group commit: sleep one window so concurrent
+    // appends coalesce into a single fsync, then sync up to the newest.
+    lock.unlock();
+    std::this_thread::sleep_for(opt_.groupCommitWindow);
+    lock.lock();
+    const std::uint64_t target = appendedSeq_;
+    lock.unlock();
+    bool ok = true;
+    try {
+      io::fsyncRetry(fd_, "ingest journal '" + path_ + "'",
+                     "journal.append.fsync");
+    } catch (...) {
+      ok = false;
+    }
+    lock.lock();
+    if (ok) {
+      syncedSeq_ = target;
+    } else {
+      syncFailed_ = true;
+      warn("ingest journal '" + path_ +
+           "': group-commit fsync failed; acks suspended");
+    }
+    syncCv_.notify_all();
+    if (syncFailed_) {
+      // Stay alive to honor stop, but no further syncs will succeed
+      // deterministically — park until shutdown.
+      flushCv_.wait(lock, [&] { return stopFlusher_; });
+      return;
+    }
+    if (stopFlusher_ && appendedSeq_ <= syncedSeq_) return;
+  }
+}
+
+}  // namespace lfpr

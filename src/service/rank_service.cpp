@@ -1,7 +1,13 @@
 #include "service/rank_service.hpp"
 
 #include <chrono>
+#include <filesystem>
 #include <stdexcept>
+
+#include "graph/csr_file.hpp"
+#include "service/checkpoint.hpp"
+#include "util/failpoint.hpp"
+#include "util/io_retry.hpp"
 
 namespace lfpr {
 
@@ -26,17 +32,82 @@ RankService::RankService(const CsrGraph& initial, ServiceOptions opt)
   curr_ = graph_.toCsr();
   state_.seedUniform();
 
-  // Epoch-0 placeholder so readers never observe a null snapshot: uniform
-  // ranks, honest converged=false and an infinite certificate.
-  auto seed = std::make_unique<RankSnapshot>();
-  seed->epoch = 0;
-  seed->ranks.assign(numVertices_,
-                     numVertices_ > 0 ? 1.0 / static_cast<double>(numVertices_)
-                                      : 0.0);
-  seed->publishedAt = std::chrono::steady_clock::now();
+  // Recovery (when durability is on) runs synchronously before the
+  // ingest thread exists: checkpoint load, journal scan + quarantine,
+  // compaction. Nothing can append concurrently, so the journal's
+  // single-threaded recovery phase really is single-threaded.
+  std::unique_ptr<RankSnapshot> seed;
+  if (opt_.durability.enabled()) seed = initDurability();
+
+  if (!seed) {
+    // Epoch-0 placeholder so readers never observe a null snapshot:
+    // uniform ranks, honest converged=false and an infinite certificate.
+    seed = std::make_unique<RankSnapshot>();
+    seed->epoch = 0;
+    seed->ranks.assign(numVertices_, numVertices_ > 0
+                                         ? 1.0 / static_cast<double>(numVertices_)
+                                         : 0.0);
+    seed->publishedAt = std::chrono::steady_clock::now();
+  }
   box_.publish(std::move(seed));
 
   ingest_ = std::thread([this] { runLoop(); });
+}
+
+std::unique_ptr<RankSnapshot> RankService::initDurability() {
+  const DurabilityOptions& d = opt_.durability;
+  std::filesystem::create_directories(d.directory);
+  // A crashed writer's scratch files are dead weight (the service is the
+  // directory's single writer); renames that did land are the live state.
+  sweepStaleTmpFiles(d.directory);
+
+  std::uint64_t ckptSeq = 0;
+  std::unique_ptr<RankSnapshot> recovered;
+  if (auto ckpt = loadNewestCheckpoint(d.directory, numVertices_, d.onWarning)) {
+    // Resume as the checkpointed epoch: the graph, the warm ranks, and
+    // the certificate are exactly a snapshot this service once
+    // published, so republishing it is sound by construction.
+    graph_ = DynamicDigraph::fromCsr(ckpt->graph);
+    curr_ = graph_.toCsr();
+    state_.seedRanks(ckpt->ranks);
+    needFullResolve_ = false;
+    nextEpoch_ = ckpt->epoch + 1;
+    ckptSeq = ckpt->journalSeq;
+    lastAppliedSeq_ = ckpt->journalSeq;
+    batchesApplied_.store(ckpt->batchesApplied, std::memory_order_relaxed);
+    edgesIngested_.store(ckpt->edgesIngested, std::memory_order_relaxed);
+    lastPublishedBound_ = ckpt->toleranceBound;
+    lastPublishedIterations_ = ckpt->iterations;
+    recoveredFromCheckpoint_ = true;
+
+    recovered = std::make_unique<RankSnapshot>();
+    recovered->epoch = ckpt->epoch;
+    recovered->ranks = std::move(ckpt->ranks);
+    recovered->converged = true;
+    recovered->iterations = ckpt->iterations;
+    recovered->toleranceBound = ckpt->toleranceBound;
+    recovered->batchesApplied = ckpt->batchesApplied;
+    recovered->edgesIngested = ckpt->edgesIngested;
+    recovered->publishedAt = std::chrono::steady_clock::now();
+    publishedEpoch_.store(ckpt->epoch, std::memory_order_release);
+  }
+
+  IngestJournal::Options jopt;
+  jopt.fsync = d.fsync;
+  jopt.groupCommitWindow = d.groupCommitWindow;
+  jopt.onWarning = d.onWarning;
+  journal_ =
+      std::make_unique<IngestJournal>(d.directory + "/journal", numVertices_, jopt);
+  journal_->compactThrough(ckptSeq);
+  replay_ = journal_->takeRecovered();
+
+  // Replayed batches count as pending until their re-application is
+  // republished — staleness() is honest about recovery lag.
+  std::uint64_t edges = 0;
+  for (const auto& r : replay_) edges += r.batch.size();
+  pendingBatches_.store(replay_.size(), std::memory_order_relaxed);
+  pendingEdges_.store(edges, std::memory_order_relaxed);
+  return recovered;
 }
 
 RankService::~RankService() { stop(); }
@@ -55,26 +126,57 @@ bool RankService::submit(BatchUpdate batch) {
   const std::uint64_t edges = batch.size();
   std::unique_lock<std::mutex> lock(mutex_);
   notFullCv_.wait(lock, [&] {
-    return stopping_ || draining_ || queue_.size() < opt_.queueCapacity;
+    return stopping_ || draining_ ||
+           degraded_.load(std::memory_order_relaxed) ||
+           queue_.size() < opt_.queueCapacity;
   });
-  if (stopping_ || draining_) return false;
-  pendingBatches_.fetch_add(1, std::memory_order_relaxed);
-  pendingEdges_.fetch_add(edges, std::memory_order_relaxed);
-  queue_.push_back(std::move(batch));
-  queueCv_.notify_one();
-  return true;
+  if (stopping_ || draining_ || degraded_.load(std::memory_order_relaxed))
+    return false;
+  return enqueueLocked(std::move(lock), std::move(batch), edges);
 }
 
 bool RankService::trySubmit(BatchUpdate batch) {
   validateBatch(batch);
   const std::uint64_t edges = batch.size();
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (stopping_ || draining_ || queue_.size() >= opt_.queueCapacity)
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (stopping_ || draining_ || degraded_.load(std::memory_order_relaxed) ||
+      queue_.size() >= opt_.queueCapacity)
     return false;
+  return enqueueLocked(std::move(lock), std::move(batch), edges);
+}
+
+bool RankService::enqueueLocked(std::unique_lock<std::mutex> lock,
+                                BatchUpdate&& batch, std::uint64_t edges) {
+  // Write-ahead invariant: the journal append happens under the queue
+  // lock, immediately before push_back — journal order IS apply order,
+  // and a batch is never visible to the ingest thread before its bytes
+  // are in the journal file.
+  std::uint64_t seq = 0;
+  if (journal_) {
+    try {
+      seq = journal_->append(batch);
+      journaledBatches_.fetch_add(1, std::memory_order_relaxed);
+    } catch (const FailPointAbort&) {
+      throw;  // simulated process death surfaces to the submitter
+    } catch (const io::IoError& e) {
+      degrade(std::string("journal append failed: ") + e.what());
+      return false;
+    }
+  }
   pendingBatches_.fetch_add(1, std::memory_order_relaxed);
   pendingEdges_.fetch_add(edges, std::memory_order_relaxed);
-  queue_.push_back(std::move(batch));
+  queue_.push_back(Pending{std::move(batch), seq});
   queueCv_.notify_one();
+
+  if (journal_ && opt_.durability.fsync == FsyncPolicy::GroupCommit) {
+    // Bounded-latency ack: wait (outside the lock — other submitters
+    // and the ingest thread keep moving) for the flusher to cover this
+    // seq. A failed group sync degrades the service but cannot
+    // un-accept the batch: it is already visible in apply order.
+    lock.unlock();
+    if (!journal_->waitDurable(seq))
+      degrade("group-commit fsync failed");
+  }
   return true;
 }
 
@@ -138,6 +240,7 @@ Staleness RankService::staleness() const {
   s.ageMs = std::chrono::duration<double, std::milli>(
                 std::chrono::steady_clock::now() - view->publishedAt)
                 .count();
+  s.degraded = degraded_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -151,7 +254,70 @@ ServiceStats RankService::stats() const {
   s.failedSteps = failedSteps_.load(std::memory_order_relaxed);
   s.reclaimedSnapshots = box_.reclaimedCount();
   s.retiredSnapshots = box_.retiredCount();
+  s.journaledBatches = journaledBatches_.load(std::memory_order_relaxed);
+  s.replayedBatches = replayedBatches_.load(std::memory_order_relaxed);
+  s.checkpoints = checkpoints_.load(std::memory_order_relaxed);
+  s.ioFailures = ioFailures_.load(std::memory_order_relaxed);
+  s.journalQuarantinedBytes = journal_ ? journal_->quarantinedBytes() : 0;
   return s;
+}
+
+void RankService::degrade(const std::string& why) {
+  ioFailures_.fetch_add(1, std::memory_order_relaxed);
+  if (!degraded_.exchange(true, std::memory_order_relaxed)) {
+    if (opt_.durability.onWarning)
+      opt_.durability.onWarning("durability degraded to serve-stale: " + why);
+  }
+  // Wake submitters blocked on a full queue so they observe the refusal.
+  notFullCv_.notify_all();
+}
+
+void RankService::maybeCheckpoint(bool force) {
+  if (!journal_) return;
+  const std::uint64_t cadence = opt_.durability.checkpointEverySolves;
+  if (!force && (cadence == 0 || publishesSinceCkpt_ < cadence)) return;
+  // Only a published-clean state is checkpointable: needFullResolve_
+  // means state_.ranks is NOT a certified fixpoint of curr_, and epoch 0
+  // means nothing real was ever published.
+  if (needFullResolve_ ||
+      publishedEpoch_.load(std::memory_order_acquire) == 0)
+    return;
+  try {
+    CheckpointData data;
+    data.epoch = nextEpoch_ - 1;  // the epoch just published
+    data.journalSeq = lastAppliedSeq_;
+    data.batchesApplied = batchesApplied_.load(std::memory_order_relaxed);
+    data.edgesIngested = edgesIngested_.load(std::memory_order_relaxed);
+    data.iterations = lastPublishedIterations_;
+    data.toleranceBound = lastPublishedBound_;
+    data.ranks = state_.ranks.toVector();
+    data.graph = curr_;
+    writeCheckpoint(opt_.durability.directory, data);
+    pruneCheckpoints(opt_.durability.directory, data.epoch);
+    journal_->resetIfCovered(lastAppliedSeq_);
+    checkpoints_.fetch_add(1, std::memory_order_relaxed);
+    publishesSinceCkpt_ = 0;
+  } catch (const FailPointAbort&) {
+    // Simulated kill mid-checkpoint: every later durability site aborts
+    // too (the registry's killed latch), so acknowledge-after-death is
+    // impossible. The ingest thread itself survives to keep the test
+    // process controllable.
+    degrade("checkpoint aborted by fail-point kill");
+  } catch (const std::exception& e) {
+    const auto* ioe = dynamic_cast<const io::IoError*>(&e);
+    const auto* cfe = dynamic_cast<const CsrFileError*>(&e);
+    if ((ioe != nullptr && ioe->diskFull()) ||
+        (cfe != nullptr && cfe->diskFull())) {
+      degrade(std::string("checkpoint failed: ") + e.what());
+    } else {
+      // Transient-looking failure: skip this cadence tick, warn, retry
+      // at the next one. The journal still covers everything.
+      ioFailures_.fetch_add(1, std::memory_order_relaxed);
+      if (opt_.durability.onWarning)
+        opt_.durability.onWarning(std::string("checkpoint skipped: ") +
+                                  e.what());
+    }
+  }
 }
 
 std::unique_ptr<FaultInjector> RankService::nextFault() {
@@ -171,8 +337,11 @@ void RankService::publishConverged(const PageRankResult& result) {
   snap->publishedAt = std::chrono::steady_clock::now();
   if (opt_.onPublish) opt_.onPublish(*snap);
   const std::uint64_t epoch = snap->epoch;
+  lastPublishedBound_ = snap->toleranceBound;
+  lastPublishedIterations_ = snap->iterations;
   box_.publish(std::move(snap));
   publishes_.fetch_add(1, std::memory_order_relaxed);
+  ++publishesSinceCkpt_;
 
   // Everything folded into the graph so far is now reader-visible.
   pendingBatches_.fetch_sub(unpublishedBatches_, std::memory_order_relaxed);
@@ -187,18 +356,19 @@ void RankService::publishConverged(const PageRankResult& result) {
   idleCv_.notify_all();
 }
 
-bool RankService::stepOnce(std::vector<BatchUpdate>&& group) {
+bool RankService::stepOnce(std::vector<Pending>&& group) {
   // Fold the group into the graph. prev/curr share the vertex set by
   // construction; the merged edge list is the marking-phase input.
   const CsrGraph prev = curr_;
   BatchUpdate merged;
-  for (BatchUpdate& b : group) {
-    graph_.applyBatch(b);
+  for (Pending& p : group) {
+    graph_.applyBatch(p.batch);
     batchesApplied_.fetch_add(1, std::memory_order_relaxed);
-    edgesIngested_.fetch_add(b.size(), std::memory_order_relaxed);
+    edgesIngested_.fetch_add(p.batch.size(), std::memory_order_relaxed);
     ++unpublishedBatches_;
-    unpublishedEdges_ += b.size();
-    appendBatch(merged, b);
+    unpublishedEdges_ += p.batch.size();
+    if (p.seq > lastAppliedSeq_) lastAppliedSeq_ = p.seq;
+    appendBatch(merged, p.batch);
   }
   if (!group.empty()) curr_ = graph_.toCsr();
 
@@ -239,6 +409,7 @@ bool RankService::stepOnce(std::vector<BatchUpdate>&& group) {
   if (result.converged) {
     needFullResolve_ = false;
     publishConverged(result);
+    maybeCheckpoint(/*force=*/false);
   } else {
     // Carry the debt: batches stay folded in, next step solves fully.
     needFullResolve_ = true;
@@ -247,12 +418,41 @@ bool RankService::stepOnce(std::vector<BatchUpdate>&& group) {
   return true;
 }
 
+bool RankService::replayRecovered() {
+  if (replay_.empty()) return true;
+  const std::size_t maxGroup =
+      std::max<std::size_t>(opt_.maxBatchesPerStep, 1);
+  std::vector<Pending> group;
+  for (auto& r : replay_) {
+    replayedBatches_.fetch_add(1, std::memory_order_relaxed);
+    group.push_back(Pending{std::move(r.batch), r.seq});
+    if (group.size() >= maxGroup) {
+      if (!stepOnce(std::move(group))) return false;
+      group.clear();
+    }
+  }
+  if (!group.empty() && !stepOnce(std::move(group))) return false;
+  replay_.clear();
+  replay_.shrink_to_fit();
+  // Checkpoint the recovered state so a crash loop cannot replay the
+  // same tail forever (each restart's replay work is bounded by one
+  // cadence window, not the journal's full history).
+  maybeCheckpoint(/*force=*/true);
+  return true;
+}
+
 void RankService::runLoop() {
-  // Initial full solve (epoch 1) before any batch is consumed.
-  if (!stepOnce({})) return;
+  // Initial full solve (epoch 1) before any batch is consumed — unless
+  // recovery already republished a checkpointed epoch, whose ranks are a
+  // certified fixpoint already.
+  if (!recoveredFromCheckpoint_ && !stepOnce({})) return;
+  // Journal-tail replay (no-op without durability): re-apply batches
+  // that were acknowledged but not yet checkpointed, through the same
+  // step path a live ingest uses.
+  if (!replayRecovered()) return;
 
   while (true) {
-    std::vector<BatchUpdate> group;
+    std::vector<Pending> group;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       idle_ = true;

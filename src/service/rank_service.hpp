@@ -32,12 +32,14 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -48,9 +50,42 @@
 #include "pagerank/detail/engine_step.hpp"
 #include "pagerank/options.hpp"
 #include "sched/fault.hpp"
+#include "service/ingest_journal.hpp"
 #include "service/snapshot_box.hpp"
 
 namespace lfpr {
+
+/// Opt-in restart durability (the PR 7 tentpole). With a directory set,
+/// the service write-ahead journals every accepted batch, checkpoints
+/// its state every `checkpointEverySolves` converged solves, and on
+/// construction recovers from whatever the directory holds: newest valid
+/// checkpoint + journal-tail replay, torn tails quarantined rather than
+/// fatal. Off (empty directory) the service is exactly the PR 6
+/// in-memory service — no extra I/O on any path.
+struct DurabilityOptions {
+  /// Empty = durability off. The directory is service-owned and
+  /// single-writer: journal, checkpoint pairs, and quarantine files all
+  /// live here.
+  std::string directory;
+
+  /// What submit()'s acceptance promises (see IngestJournal).
+  FsyncPolicy fsync = FsyncPolicy::Batch;
+
+  /// GroupCommit ack-latency bound.
+  std::chrono::milliseconds groupCommitWindow{5};
+
+  /// Checkpoint cadence in converged solves; 0 = only the post-recovery
+  /// checkpoint. Each checkpoint prunes its predecessor and resets the
+  /// journal once every journaled batch is covered.
+  std::uint64_t checkpointEverySolves = 8;
+
+  /// Diagnostics channel (torn-tail quarantine, invalid checkpoints,
+  /// degradation to serve-stale). May be called from the constructor,
+  /// the ingest thread, submitters, or the journal flusher.
+  std::function<void(const std::string&)> onWarning;
+
+  [[nodiscard]] bool enabled() const noexcept { return !directory.empty(); }
+};
 
 struct ServiceOptions {
   /// Engine configuration for every solve the service runs. numThreads,
@@ -89,6 +124,9 @@ struct ServiceOptions {
   /// indices). Return null for a healthy solve.
   std::function<std::unique_ptr<FaultInjector>(std::uint64_t solveIndex)>
       faultFactory;
+
+  /// Restart durability; off by default.
+  DurabilityOptions durability;
 };
 
 /// Reader-visible freshness report: which epoch answers queries, how
@@ -105,6 +143,10 @@ struct Staleness {
   std::uint64_t pendingEdges = 0;
   /// Milliseconds since the current snapshot was published.
   double ageMs = 0.0;
+  /// Serve-stale mode: an unrecoverable durability failure (disk full,
+  /// exhausted write retries) stopped batch acceptance; readers keep the
+  /// last epoch and this report keeps climbing.
+  bool degraded = false;
 };
 
 struct ServiceStats {
@@ -117,6 +159,17 @@ struct ServiceStats {
   std::uint64_t failedSteps = 0;
   std::uint64_t reclaimedSnapshots = 0;
   std::size_t retiredSnapshots = 0;
+
+  // Durability (all 0 when DurabilityOptions is off).
+  std::uint64_t journaledBatches = 0;
+  /// Journal-tail batches re-applied by restart recovery.
+  std::uint64_t replayedBatches = 0;
+  std::uint64_t checkpoints = 0;
+  /// Unrecoverable durability I/O failures (each one degrades or is a
+  /// skipped checkpoint).
+  std::uint64_t ioFailures = 0;
+  /// Torn bytes quarantined by the journal scan at construction.
+  std::uint64_t journalQuarantinedBytes = 0;
 };
 
 class RankService {
@@ -128,6 +181,16 @@ class RankService {
   /// (uniform ranks, toleranceBound = infinity); epoch 1 — the initial
   /// full solve — follows asynchronously. Use waitForEpoch(1) to block
   /// until the first real ranking is up.
+  ///
+  /// With opt.durability enabled, recovery runs first and synchronously:
+  /// stale tmp sweep, newest-valid-checkpoint load, journal scan with
+  /// torn-tail quarantine, journal compaction. When a checkpoint exists
+  /// readers immediately see its epoch (certificate intact — the ranks
+  /// ARE a previously published snapshot) instead of the placeholder,
+  /// and the ingest thread replays the journal tail through the normal
+  /// DF step path before consuming new batches. `initial` must be the
+  /// same graph a clean run would have started from; it seeds the very
+  /// first run and is superseded by the checkpoint afterwards.
   explicit RankService(const CsrGraph& initial, ServiceOptions opt = {});
 
   /// stop()s and joins.
@@ -187,14 +250,34 @@ class RankService {
     return publishedEpoch_.load(std::memory_order_acquire);
   }
 
+  /// True once an unrecoverable durability failure switched the service
+  /// to serve-stale (submit/trySubmit refuse; readers unaffected).
+  [[nodiscard]] bool degraded() const noexcept {
+    return degraded_.load(std::memory_order_relaxed);
+  }
+
  private:
+  /// A queued batch plus its journal seq (0 = not journaled).
+  struct Pending {
+    BatchUpdate batch;
+    std::uint64_t seq = 0;
+  };
+
   void runLoop();
   /// One solve step over `group` (empty = initial/carried full solve).
   /// Returns false when a stop request ended the solve.
-  bool stepOnce(std::vector<BatchUpdate>&& group);
+  bool stepOnce(std::vector<Pending>&& group);
   void publishConverged(const PageRankResult& result);
   void validateBatch(const BatchUpdate& batch) const;
   [[nodiscard]] std::unique_ptr<FaultInjector> nextFault();
+
+  // Durability path (no-ops when opt_.durability is off).
+  [[nodiscard]] std::unique_ptr<RankSnapshot> initDurability();
+  bool enqueueLocked(std::unique_lock<std::mutex> lock, BatchUpdate&& batch,
+                     std::uint64_t edges);
+  bool replayRecovered();
+  void maybeCheckpoint(bool force);
+  void degrade(const std::string& why);
 
   ServiceOptions opt_;
   const VertexId numVertices_;
@@ -208,6 +291,17 @@ class RankService {
   std::uint64_t unpublishedBatches_ = 0;
   std::uint64_t unpublishedEdges_ = 0;
 
+  // Durability state. journal_ doubles as the "durability on" flag;
+  // replay_ / recoveredFromCheckpoint_ are set by the constructor and
+  // consumed by the ingest thread before it touches the queue.
+  std::unique_ptr<IngestJournal> journal_;
+  std::vector<IngestJournal::Record> replay_;
+  bool recoveredFromCheckpoint_ = false;
+  std::uint64_t lastAppliedSeq_ = 0;       // ingest thread only
+  std::uint64_t publishesSinceCkpt_ = 0;   // ingest thread only
+  double lastPublishedBound_ = 0.0;        // ingest thread only
+  int lastPublishedIterations_ = 0;        // ingest thread only
+
   SnapshotBox box_;
 
   // Queue + lifecycle.
@@ -215,7 +309,7 @@ class RankService {
   std::condition_variable queueCv_;    // ingest thread waits for work
   std::condition_variable notFullCv_;  // submitters wait for room
   std::condition_variable idleCv_;     // waitIdle / waitForEpoch
-  std::deque<BatchUpdate> queue_;
+  std::deque<Pending> queue_;
   bool stopping_ = false;
   bool draining_ = false;
   bool idle_ = false;
@@ -231,6 +325,11 @@ class RankService {
   std::atomic<std::uint64_t> solves_{0};
   std::atomic<std::uint64_t> recoveries_{0};
   std::atomic<std::uint64_t> failedSteps_{0};
+  std::atomic<bool> degraded_{false};
+  std::atomic<std::uint64_t> journaledBatches_{0};
+  std::atomic<std::uint64_t> replayedBatches_{0};
+  std::atomic<std::uint64_t> checkpoints_{0};
+  std::atomic<std::uint64_t> ioFailures_{0};
 
   std::thread ingest_;
 };

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <cstring>
 #include <span>
+#include <type_traits>
 
 namespace lfpr {
 
@@ -71,6 +72,14 @@ inline std::uint64_t checksum64(std::span<const std::byte> bytes) noexcept {
   Checksum64 c;
   c.update(bytes);
   return c.value();
+}
+
+/// View a trivially-copyable value as its raw bytes — the journal and
+/// checkpoint formats checksum fixed-layout structs this way.
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+std::span<const std::byte> podBytes(const T& value) noexcept {
+  return std::as_bytes(std::span<const T, 1>(&value, 1));
 }
 
 }  // namespace lfpr

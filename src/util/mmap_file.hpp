@@ -20,6 +20,8 @@
 #include <string>
 #include <utility>
 
+#include "util/failpoint.hpp"
+
 namespace lfpr {
 
 class MmapFile {
@@ -30,6 +32,7 @@ class MmapFile {
   /// share physical pages). Throws std::runtime_error with the path and
   /// errno text on failure. An empty file maps to an empty span.
   static MmapFile open(const std::string& path) {
+    LFPR_FAILPOINT("mmap.open");
     const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
     if (fd < 0)
       throw std::runtime_error("MmapFile: cannot open '" + path +
@@ -44,6 +47,7 @@ class MmapFile {
     MmapFile f;
     f.size_ = static_cast<std::size_t>(st.st_size);
     if (f.size_ > 0) {
+      LFPR_FAILPOINT("mmap.map");
       void* p = ::mmap(nullptr, f.size_, PROT_READ, MAP_SHARED, fd, 0);
       if (p == MAP_FAILED) {
         const int err = errno;

@@ -1,0 +1,774 @@
+// Durability tests (PR 7): the write-ahead ingest journal must round
+// trip and treat torn tails as clean EOF with quarantine, checkpoints
+// must bind their csr/meta halves and fall back to older pairs when the
+// newest is torn, and restart recovery must reproduce a clean run's
+// ranks within the §4.5 certificate. Builds with -DLFPR_FAILPOINTS=ON
+// additionally run the crash matrix: for every I/O fail point a clean
+// run executes, kill the service there, restart, resubmit what was
+// never acknowledged, and verify no journaled-then-acknowledged batch
+// was lost.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "generate/batch_gen.hpp"
+#include "generate/generators.hpp"
+#include "graph/csr_file.hpp"
+#include "graph/dynamic_digraph.hpp"
+#include "graph/edge_log.hpp"
+#include "pagerank/pagerank.hpp"
+#include "service/checkpoint.hpp"
+#include "service/ingest_journal.hpp"
+#include "service/rank_service.hpp"
+#include "util/failpoint.hpp"
+#include "util/rng.hpp"
+
+namespace lfpr {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr VertexId kVertices = VertexId{1} << 9;
+
+CsrGraph makeTestGraph(std::uint64_t seed) {
+  Rng rng(seed);
+  auto edges = generateRmat(9, 8 * kVertices, rng);
+  appendSelfLoops(edges, kVertices);
+  return DynamicDigraph::fromEdges(kVertices, edges).toCsr();
+}
+
+/// Deterministic batch stream plus the graph they produce when all are
+/// applied — the offline twin every recovery test verifies against.
+std::vector<BatchUpdate> makeBatches(const CsrGraph& initial, int count,
+                                     std::uint64_t seed) {
+  auto g = DynamicDigraph::fromCsr(initial);
+  g.ensureSelfLoops();
+  Rng rng(seed);
+  std::vector<BatchUpdate> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    auto batch = generateBatch(g, 50 + (static_cast<std::size_t>(i) * 37) % 101,
+                               rng);
+    g.applyBatch(batch);
+    out.push_back(std::move(batch));
+  }
+  return out;
+}
+
+std::vector<double> offlineReference(const CsrGraph& initial,
+                                     const std::vector<BatchUpdate>& batches,
+                                     std::size_t upTo) {
+  auto g = DynamicDigraph::fromCsr(initial);
+  g.ensureSelfLoops();
+  for (std::size_t i = 0; i < upTo; ++i) g.applyBatch(batches[i]);
+  return referenceRanks(g.toCsr());
+}
+
+class DurabilityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("lfpr-test-" + std::to_string(::getpid()) + "-" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    FailPoints::instance().disarmAll();
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  [[nodiscard]] std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  static void truncateFile(const std::string& file, std::uint64_t newSize) {
+    fs::resize_file(file, newSize);
+  }
+
+  /// Flip one byte at `offset` in an existing file.
+  static void corruptByte(const std::string& file, std::uint64_t offset) {
+    std::fstream f(file, std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(f.is_open());
+    f.seekg(static_cast<std::streamoff>(offset));
+    char b = 0;
+    f.read(&b, 1);
+    b = static_cast<char>(b ^ 0x5a);
+    f.seekp(static_cast<std::streamoff>(offset));
+    f.write(&b, 1);
+  }
+
+  [[nodiscard]] ServiceOptions durableOptions(
+      std::uint64_t checkpointEverySolves = 1,
+      FsyncPolicy fsync = FsyncPolicy::Batch) const {
+    ServiceOptions opt;
+    opt.solver.numThreads = 2;
+    opt.solver.chunkSize = 64;
+    opt.durability.directory = dir_.string();
+    opt.durability.fsync = fsync;
+    opt.durability.checkpointEverySolves = checkpointEverySolves;
+    opt.durability.groupCommitWindow = std::chrono::milliseconds(1);
+    return opt;
+  }
+
+  fs::path dir_;
+};
+
+IngestJournal::Options journalOptions() {
+  IngestJournal::Options opt;
+  opt.fsync = FsyncPolicy::Batch;
+  return opt;
+}
+
+BatchUpdate sampleBatch(std::uint64_t seed, std::size_t edges = 8) {
+  Rng rng(seed);
+  BatchUpdate b;
+  for (std::size_t i = 0; i < edges; ++i) {
+    const Edge e{static_cast<VertexId>(rng() % kVertices),
+                 static_cast<VertexId>(rng() % kVertices)};
+    if (i % 3 == 0)
+      b.deletions.push_back(e);
+    else
+      b.insertions.push_back(e);
+  }
+  return b;
+}
+
+std::uint64_t recordBytes(const BatchUpdate& b) {
+  return sizeof(JournalRecordHeader) + b.size() * sizeof(Edge);
+}
+
+// ---------------------------------------------------------------------
+// IngestJournal: round trip, torn-tail quarantine, compaction.
+
+TEST_F(DurabilityTest, JournalRoundTrip) {
+  const auto b1 = sampleBatch(1);
+  const auto b2 = sampleBatch(2, 0);  // empty batch is a legal record
+  const auto b3 = sampleBatch(3, 13);
+  {
+    IngestJournal j(path("journal"), kVertices, journalOptions());
+    EXPECT_TRUE(j.recovered().empty());
+    EXPECT_EQ(j.quarantinedBytes(), 0u);
+    EXPECT_EQ(j.append(b1), 1u);
+    EXPECT_EQ(j.append(b2), 2u);
+    EXPECT_EQ(j.append(b3), 3u);
+    EXPECT_EQ(j.lastSeq(), 3u);
+  }
+  IngestJournal j(path("journal"), kVertices, journalOptions());
+  ASSERT_EQ(j.recovered().size(), 3u);
+  EXPECT_EQ(j.quarantinedBytes(), 0u);
+  EXPECT_EQ(j.recovered()[0].seq, 1u);
+  EXPECT_EQ(j.recovered()[0].batch.deletions, b1.deletions);
+  EXPECT_EQ(j.recovered()[0].batch.insertions, b1.insertions);
+  EXPECT_TRUE(j.recovered()[1].batch.empty());
+  EXPECT_EQ(j.recovered()[2].batch.insertions, b3.insertions);
+  // Appends continue past the recovered tail.
+  EXPECT_EQ(j.append(sampleBatch(4)), 4u);
+}
+
+TEST_F(DurabilityTest, JournalTornTailIsCleanEofWithQuarantine) {
+  const auto b1 = sampleBatch(5);
+  const auto b2 = sampleBatch(6);
+  const auto b3 = sampleBatch(7);
+  {
+    IngestJournal j(path("journal"), kVertices, journalOptions());
+    j.append(b1);
+    j.append(b2);
+    j.append(b3);
+  }
+  // Tear record 3 mid-payload: the crash-during-append shape.
+  const std::uint64_t goodTail =
+      sizeof(JournalHeader) + recordBytes(b1) + recordBytes(b2);
+  truncateFile(path("journal"), goodTail + 10);
+
+  std::vector<std::string> warnings;
+  auto opt = journalOptions();
+  opt.onWarning = [&](const std::string& w) { warnings.push_back(w); };
+  IngestJournal j(path("journal"), kVertices, opt);
+  ASSERT_EQ(j.recovered().size(), 2u);
+  EXPECT_EQ(j.recovered()[1].seq, 2u);
+  EXPECT_EQ(j.quarantinedBytes(), 10u);
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_NE(warnings[0].find("quarantined"), std::string::npos);
+  // Torn bytes preserved for forensics; the live file truncated back.
+  EXPECT_TRUE(fs::exists(path("journal.torn")));
+  EXPECT_EQ(fs::file_size(path("journal")), goodTail);
+  // Appends land on the repaired tail and reuse the torn record's seq.
+  EXPECT_EQ(j.append(sampleBatch(8)), 3u);
+}
+
+TEST_F(DurabilityTest, JournalChecksumBadTailQuarantined) {
+  const auto b1 = sampleBatch(9);
+  const auto b2 = sampleBatch(10);
+  {
+    IngestJournal j(path("journal"), kVertices, journalOptions());
+    j.append(b1);
+    j.append(b2);
+  }
+  // Flip a payload byte inside record 2.
+  corruptByte(path("journal"), sizeof(JournalHeader) + recordBytes(b1) +
+                                   sizeof(JournalRecordHeader) + 3);
+  IngestJournal j(path("journal"), kVertices, journalOptions());
+  ASSERT_EQ(j.recovered().size(), 1u);
+  EXPECT_EQ(j.recovered()[0].seq, 1u);
+  EXPECT_EQ(j.quarantinedBytes(), recordBytes(b2));
+  EXPECT_TRUE(fs::exists(path("journal.torn")));
+}
+
+TEST_F(DurabilityTest, JournalCorruptHeaderQuarantinesWholeFile) {
+  {
+    IngestJournal j(path("journal"), kVertices, journalOptions());
+    j.append(sampleBatch(11));
+  }
+  corruptByte(path("journal"), 2);  // magic
+  std::vector<std::string> warnings;
+  auto opt = journalOptions();
+  opt.onWarning = [&](const std::string& w) { warnings.push_back(w); };
+  IngestJournal j(path("journal"), kVertices, opt);
+  EXPECT_TRUE(j.recovered().empty());
+  EXPECT_GT(j.quarantinedBytes(), sizeof(JournalHeader));
+  EXPECT_TRUE(fs::exists(path("journal.torn-file")));
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_NE(warnings[0].find("started fresh"), std::string::npos);
+  // The file restarted as a virgin journal: seqs from 1.
+  EXPECT_EQ(j.append(sampleBatch(12)), 1u);
+}
+
+TEST_F(DurabilityTest, JournalVertexMismatchQuarantinesWholeFile) {
+  {
+    IngestJournal j(path("journal"), kVertices, journalOptions());
+    j.append(sampleBatch(13));
+  }
+  IngestJournal j(path("journal"), kVertices / 2, journalOptions());
+  EXPECT_TRUE(j.recovered().empty());
+  EXPECT_GT(j.quarantinedBytes(), 0u);
+}
+
+TEST_F(DurabilityTest, JournalCompactThroughDropsCoveredPrefix) {
+  {
+    IngestJournal j(path("journal"), kVertices, journalOptions());
+    for (std::uint64_t s = 1; s <= 5; ++s) j.append(sampleBatch(s));
+  }
+  {
+    IngestJournal j(path("journal"), kVertices, journalOptions());
+    j.compactThrough(3);  // a checkpoint covered seqs 1..3
+    const auto tail = j.takeRecovered();
+    ASSERT_EQ(tail.size(), 2u);
+    EXPECT_EQ(tail[0].seq, 4u);
+    EXPECT_EQ(tail[1].seq, 5u);
+    EXPECT_EQ(j.append(sampleBatch(14)), 6u);
+  }
+  // The compacted file scans clean with its non-1 starting seq.
+  IngestJournal j(path("journal"), kVertices, journalOptions());
+  ASSERT_EQ(j.recovered().size(), 3u);
+  EXPECT_EQ(j.recovered()[0].seq, 4u);
+  EXPECT_EQ(j.recovered()[2].seq, 6u);
+}
+
+TEST_F(DurabilityTest, JournalResetIfCoveredKeepsSeqCounting) {
+  IngestJournal j(path("journal"), kVertices, journalOptions());
+  for (std::uint64_t s = 1; s <= 3; ++s) j.append(sampleBatch(s));
+  // Records beyond the checkpoint: reset must refuse.
+  EXPECT_FALSE(j.resetIfCovered(2));
+  EXPECT_TRUE(j.resetIfCovered(3));
+  EXPECT_EQ(fs::file_size(path("journal")), sizeof(JournalHeader));
+  EXPECT_TRUE(j.resetIfCovered(3));  // idempotent on an empty file
+  EXPECT_EQ(j.append(sampleBatch(15)), 4u);
+}
+
+// ---------------------------------------------------------------------
+// Checkpoints: pair atomicity, fallback, pruning, tmp sweep.
+
+CheckpointData sampleCheckpoint(std::uint64_t epoch, std::uint64_t graphSeed) {
+  CheckpointData d;
+  d.epoch = epoch;
+  d.journalSeq = epoch * 10;
+  d.batchesApplied = epoch * 3;
+  d.edgesIngested = epoch * 100;
+  d.iterations = 17;
+  d.toleranceBound = 6.7e-10;
+  d.graph = makeTestGraph(graphSeed);
+  d.ranks.assign(kVertices, 0.0);
+  for (VertexId v = 0; v < kVertices; ++v)
+    d.ranks[v] = 1.0 / (1.0 + static_cast<double>(v + epoch));
+  return d;
+}
+
+TEST_F(DurabilityTest, CheckpointRoundTrip) {
+  const auto data = sampleCheckpoint(4, 21);
+  writeCheckpoint(dir_.string(), data);
+  EXPECT_TRUE(fs::exists(path("ckpt-4.csr")));
+  EXPECT_TRUE(fs::exists(path("ckpt-4.meta")));
+
+  const auto loaded = loadNewestCheckpoint(dir_.string(), kVertices, nullptr);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->epoch, 4u);
+  EXPECT_EQ(loaded->journalSeq, 40u);
+  EXPECT_EQ(loaded->batchesApplied, 12u);
+  EXPECT_EQ(loaded->edgesIngested, 400u);
+  EXPECT_EQ(loaded->iterations, 17);
+  EXPECT_DOUBLE_EQ(loaded->toleranceBound, 6.7e-10);
+  EXPECT_EQ(loaded->ranks, data.ranks);
+  EXPECT_EQ(loaded->graph.numEdges(), data.graph.numEdges());
+  EXPECT_EQ(loaded->graph.edges(), data.graph.edges());
+}
+
+TEST_F(DurabilityTest, CheckpointFallsBackToOlderValidPair) {
+  writeCheckpoint(dir_.string(), sampleCheckpoint(3, 22));
+  writeCheckpoint(dir_.string(), sampleCheckpoint(7, 23));
+  // Corrupt the newest meta's rank payload: its checksum no longer
+  // verifies, so recovery must take epoch 3, warn, and delete nothing.
+  corruptByte(path("ckpt-7.meta"), sizeof(CheckpointHeader) + 11);
+  std::vector<std::string> warnings;
+  const auto loaded =
+      loadNewestCheckpoint(dir_.string(), kVertices,
+                           [&](const std::string& w) { warnings.push_back(w); });
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->epoch, 3u);
+  EXPECT_FALSE(warnings.empty());
+  EXPECT_TRUE(fs::exists(path("ckpt-7.meta")));
+}
+
+TEST_F(DurabilityTest, CheckpointMetaBindsItsCsrHalf) {
+  writeCheckpoint(dir_.string(), sampleCheckpoint(2, 24));
+  writeCheckpoint(dir_.string(), sampleCheckpoint(5, 25));
+  // Replace epoch 5's csr with a DIFFERENT valid csr file: both halves
+  // individually verify, but the meta's recorded csr checksum disagrees —
+  // the mixed pair must be rejected, not plausibly loaded.
+  writeCsrFile(path("ckpt-5.csr"), makeTestGraph(99));
+  const auto loaded = loadNewestCheckpoint(dir_.string(), kVertices, nullptr);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->epoch, 2u);
+}
+
+TEST_F(DurabilityTest, CheckpointTornMetaFallsBack) {
+  writeCheckpoint(dir_.string(), sampleCheckpoint(1, 26));
+  writeCheckpoint(dir_.string(), sampleCheckpoint(6, 27));
+  truncateFile(path("ckpt-6.meta"), sizeof(CheckpointHeader) - 8);
+  const auto loaded = loadNewestCheckpoint(dir_.string(), kVertices, nullptr);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->epoch, 1u);
+  // With every pair invalid, recovery reports "nothing" rather than
+  // guessing.
+  truncateFile(path("ckpt-1.meta"), 10);
+  EXPECT_FALSE(loadNewestCheckpoint(dir_.string(), kVertices, nullptr));
+}
+
+TEST_F(DurabilityTest, PruneKeepsOnlyTheNamedEpoch) {
+  writeCheckpoint(dir_.string(), sampleCheckpoint(1, 28));
+  writeCheckpoint(dir_.string(), sampleCheckpoint(2, 29));
+  writeCheckpoint(dir_.string(), sampleCheckpoint(3, 30));
+  pruneCheckpoints(dir_.string(), 3);
+  EXPECT_FALSE(fs::exists(path("ckpt-1.csr")));
+  EXPECT_FALSE(fs::exists(path("ckpt-1.meta")));
+  EXPECT_FALSE(fs::exists(path("ckpt-2.csr")));
+  EXPECT_TRUE(fs::exists(path("ckpt-3.csr")));
+  EXPECT_TRUE(fs::exists(path("ckpt-3.meta")));
+}
+
+TEST_F(DurabilityTest, SweepRemovesOnlyTmpScratch) {
+  std::ofstream(path("ckpt-9.csr.tmp.4242")) << "stale";
+  std::ofstream(path("journal.tmp.4242")) << "stale";
+  std::ofstream(path("keepme.csr")) << "live";
+  sweepStaleTmpFiles(dir_.string());
+  EXPECT_FALSE(fs::exists(path("ckpt-9.csr.tmp.4242")));
+  EXPECT_FALSE(fs::exists(path("journal.tmp.4242")));
+  EXPECT_TRUE(fs::exists(path("keepme.csr")));
+}
+
+// ---------------------------------------------------------------------
+// Edge-log tail policy (satellite): torn tail readable, strict intact.
+
+TEST_F(DurabilityTest, EdgeLogTailPolicyQuarantinesTornTail) {
+  TemporalEdgeListData data;
+  data.numVertices = 64;
+  Rng rng(31);
+  for (int i = 0; i < 20; ++i)
+    data.edges.push_back({static_cast<VertexId>(rng() % 64),
+                          static_cast<VertexId>(rng() % 64),
+                          static_cast<std::uint64_t>(i)});
+  writeTemporalEdgeLog(path("log.bin"), data);
+
+  // Tear the final record: 10 bytes of the last 16-byte TemporalEdge.
+  const auto full = fs::file_size(path("log.bin"));
+  truncateFile(path("log.bin"), full - 10);
+
+  // Strict (the dataset-cache contract) refuses.
+  EXPECT_THROW(TemporalEdgeLogReader(path("log.bin")), EdgeLogError);
+
+  // QuarantineTorn clamps to the last complete record and reports.
+  TemporalEdgeLogReader reader(path("log.bin"), LogTailPolicy::QuarantineTorn);
+  EXPECT_EQ(reader.numEdges(), 19u);
+  EXPECT_TRUE(reader.tornTail());
+  EXPECT_EQ(reader.quarantinedBytes(), 6u);  // 16 - 10 torn bytes present
+  std::vector<TemporalEdge> out(32);
+  EXPECT_EQ(reader.read(out), 19u);
+
+  // Oversize is NOT a crash artifact: hard error under both policies.
+  writeTemporalEdgeLog(path("log2.bin"), data);
+  std::ofstream(path("log2.bin"), std::ios::binary | std::ios::app) << "xx";
+  EXPECT_THROW(
+      TemporalEdgeLogReader(path("log2.bin"), LogTailPolicy::QuarantineTorn),
+      EdgeLogError);
+}
+
+// ---------------------------------------------------------------------
+// RankService restart recovery.
+
+TEST_F(DurabilityTest, ServiceReplaysJournalAfterRestart) {
+  const auto initial = makeTestGraph(41);
+  const auto batches = makeBatches(initial, 6, 42);
+  // Cadence 0: journal-only durability on the first run (the forced
+  // post-recovery checkpoint never triggers — there is no recovery).
+  {
+    RankService service(initial, durableOptions(/*checkpointEverySolves=*/0));
+    for (const auto& b : batches) ASSERT_TRUE(service.submit(b));
+    service.drainAndStop();
+    EXPECT_EQ(service.stats().journaledBatches, 6u);
+    EXPECT_EQ(service.stats().checkpoints, 0u);
+  }
+  // Restart: initial solve on `initial`, then the whole journal replays
+  // through the DF step path, then the forced post-recovery checkpoint.
+  RankService service(initial, durableOptions(/*checkpointEverySolves=*/0));
+  service.waitIdle();
+  const auto st = service.stats();
+  EXPECT_EQ(st.replayedBatches, 6u);
+  EXPECT_EQ(st.batchesApplied, 6u);
+  EXPECT_EQ(st.checkpoints, 1u);
+  EXPECT_EQ(service.staleness().pendingBatches, 0u);
+  const SnapshotView v = service.snapshot();
+  ASSERT_TRUE(v);
+  EXPECT_TRUE(v->converged);
+  EXPECT_LT(linfNorm(v->ranks, offlineReference(initial, batches, 6)),
+            v->toleranceBound);
+}
+
+TEST_F(DurabilityTest, ServiceRestartFromCheckpointSkipsReplay) {
+  const auto initial = makeTestGraph(43);
+  const auto batches = makeBatches(initial, 4, 44);
+  std::uint64_t finalEpoch = 0;
+  std::vector<double> finalRanks;
+  {
+    RankService service(initial, durableOptions(/*checkpointEverySolves=*/1));
+    for (const auto& b : batches) {
+      ASSERT_TRUE(service.submit(b));
+      service.waitIdle();  // one step (and one checkpoint) per batch
+    }
+    service.drainAndStop();
+    EXPECT_GE(service.stats().checkpoints, 4u);
+    finalEpoch = service.publishedEpoch();
+    finalRanks = service.ranks();
+    // Every journaled batch is checkpoint-covered: the journal was reset.
+    EXPECT_EQ(fs::file_size(path("journal")), sizeof(JournalHeader));
+  }
+  RankService service(initial, durableOptions(/*checkpointEverySolves=*/1));
+  // The checkpointed epoch is visible immediately — no solve needed; its
+  // ranks ARE the snapshot the service once published.
+  EXPECT_EQ(service.publishedEpoch(), finalEpoch);
+  EXPECT_EQ(service.ranks(), finalRanks);
+  service.waitIdle();
+  const auto st = service.stats();
+  EXPECT_EQ(st.replayedBatches, 0u);
+  EXPECT_EQ(st.batchesApplied, 4u);
+  // Ingest continues from the recovered state.
+  auto offline = DynamicDigraph::fromCsr(initial);
+  offline.ensureSelfLoops();
+  for (const auto& b : batches) offline.applyBatch(b);
+  Rng rng(45);
+  const auto extra = generateBatch(offline, 90, rng);
+  offline.applyBatch(extra);
+  ASSERT_TRUE(service.submit(extra));
+  service.drainAndStop();
+  const SnapshotView v = service.snapshot();
+  EXPECT_GT(v->epoch, finalEpoch);
+  EXPECT_LT(linfNorm(v->ranks, referenceRanks(offline.toCsr())),
+            v->toleranceBound);
+}
+
+TEST_F(DurabilityTest, ServiceQuarantinesTornJournalOnRestart) {
+  const auto initial = makeTestGraph(46);
+  const auto batches = makeBatches(initial, 3, 47);
+  {
+    RankService service(initial, durableOptions(/*checkpointEverySolves=*/0));
+    for (const auto& b : batches) ASSERT_TRUE(service.submit(b));
+    service.drainAndStop();
+  }
+  // Tear the journal's final record, as a mid-append crash would.
+  truncateFile(path("journal"), fs::file_size(path("journal")) - 7);
+
+  std::vector<std::string> warnings;
+  auto opt = durableOptions(/*checkpointEverySolves=*/0);
+  opt.durability.onWarning = [&](const std::string& w) {
+    warnings.push_back(w);
+  };
+  RankService service(initial, opt);
+  service.waitIdle();
+  EXPECT_EQ(service.stats().replayedBatches, 2u);
+  EXPECT_GT(service.stats().journalQuarantinedBytes, 0u);
+  EXPECT_FALSE(warnings.empty());
+  // The torn batch was never acknowledged-as-durable in this shape; the
+  // client's retry path resubmits it and the ranks converge to the twin.
+  ASSERT_TRUE(service.submit(batches[2]));
+  service.drainAndStop();
+  const SnapshotView v = service.snapshot();
+  EXPECT_LT(linfNorm(v->ranks, offlineReference(initial, batches, 3)),
+            v->toleranceBound);
+}
+
+TEST_F(DurabilityTest, ServiceGroupCommitAndNonePoliciesRecover) {
+  const auto initial = makeTestGraph(48);
+  const auto batches = makeBatches(initial, 4, 49);
+  for (const FsyncPolicy policy :
+       {FsyncPolicy::GroupCommit, FsyncPolicy::None}) {
+    const fs::path sub = dir_ / (policy == FsyncPolicy::None ? "none" : "gc");
+    ServiceOptions opt = durableOptions(/*checkpointEverySolves=*/0, policy);
+    opt.durability.directory = sub.string();
+    {
+      RankService service(initial, opt);
+      for (const auto& b : batches) ASSERT_TRUE(service.submit(b));
+      service.drainAndStop();
+      EXPECT_EQ(service.stats().journaledBatches, 4u);
+    }
+    RankService service(initial, opt);
+    service.waitIdle();
+    EXPECT_EQ(service.stats().replayedBatches, 4u);
+    const SnapshotView v = service.snapshot();
+    EXPECT_LT(linfNorm(v->ranks, offlineReference(initial, batches, 4)),
+              v->toleranceBound);
+  }
+}
+
+#if defined(LFPR_FAILPOINTS)
+
+// ---------------------------------------------------------------------
+// Fail-point injection: transient retries, ENOSPC degradation, and the
+// crash matrix (kill at every I/O site a clean run executes, restart,
+// verify nothing acknowledged was lost).
+
+TEST_F(DurabilityTest, TransientErrnoAndShortWritesAreRetried) {
+  auto& fp = FailPoints::instance();
+  IngestJournal j(path("journal"), kVertices, journalOptions());
+  fp.armErrno("journal.append.write", EINTR, 2);
+  EXPECT_EQ(j.append(sampleBatch(51)), 1u);
+  fp.armErrno("journal.append.write", kFailPointShortWrite, 1);
+  EXPECT_EQ(j.append(sampleBatch(52)), 2u);
+  fp.armErrno("journal.append.fsync", EINTR, 1);
+  EXPECT_EQ(j.append(sampleBatch(53)), 3u);
+  fp.disarmAll();
+  // All three records are intact despite the injected turbulence.
+  IngestJournal reopened(path("journal"), kVertices, journalOptions());
+  EXPECT_EQ(reopened.recovered().size(), 3u);
+  EXPECT_EQ(reopened.quarantinedBytes(), 0u);
+}
+
+TEST_F(DurabilityTest, EnospcDegradesToServeStale) {
+  const auto initial = makeTestGraph(54);
+  const auto batches = makeBatches(initial, 3, 55);
+  std::vector<std::string> warnings;
+  auto opt = durableOptions(/*checkpointEverySolves=*/0);
+  opt.durability.onWarning = [&](const std::string& w) {
+    warnings.push_back(w);
+  };
+  RankService service(initial, opt);
+  ASSERT_TRUE(service.submit(batches[0]));
+  service.waitIdle();
+  const std::uint64_t epochBefore = service.publishedEpoch();
+  const std::vector<double> ranksBefore = service.ranks();
+
+  FailPoints::instance().armErrno("journal.append.write", ENOSPC, 1);
+  // The un-journalable batch is refused, not silently accepted.
+  EXPECT_FALSE(service.submit(batches[1]));
+  EXPECT_TRUE(service.degraded());
+  EXPECT_TRUE(service.staleness().degraded);
+  EXPECT_GE(service.stats().ioFailures, 1u);
+  EXPECT_FALSE(warnings.empty());
+  FailPoints::instance().disarmAll();
+
+  // Serve-stale: the degradation latch holds even after the disk
+  // "heals", readers keep the last good epoch, and queries still answer.
+  EXPECT_FALSE(service.submit(batches[2]));
+  EXPECT_FALSE(service.trySubmit(batches[2]));
+  EXPECT_EQ(service.publishedEpoch(), epochBefore);
+  EXPECT_EQ(service.ranks(), ranksBefore);
+  service.stop();
+}
+
+/// One kill-restart-verify act. Phase A: fresh service consumes the
+/// first half of `batches`. Phase B: restart (recovery!) consumes the
+/// second half. An armed kill may abort anywhere in either phase —
+/// that's the simulated process death. Returns how many batches were
+/// acknowledged before death; those are the durability guarantee set.
+struct CrashOutcome {
+  std::size_t acked = 0;
+  bool died = false;
+};
+
+CrashOutcome runCrashScenario(const std::string& dir, const CsrGraph& initial,
+                              const std::vector<BatchUpdate>& batches,
+                              const ServiceOptions& opt) {
+  CrashOutcome out;
+  const std::size_t half = batches.size() / 2;
+  try {
+    RankService s(initial, opt);
+    s.waitForEpoch(1);
+    for (std::size_t i = 0; i < half; ++i) {
+      if (!s.submit(batches[i])) break;  // degraded by an ingest-side kill
+      ++out.acked;
+      s.waitIdle();  // serialize steps so checkpoints interleave submits
+    }
+    s.drainAndStop();
+  } catch (const FailPointAbort&) {
+    out.died = true;
+    return out;
+  }
+  if (FailPoints::instance().killed()) {
+    out.died = true;
+    return out;
+  }
+  try {
+    RankService s(initial, opt);
+    for (std::size_t i = half; i < batches.size(); ++i) {
+      if (!s.submit(batches[i])) break;
+      ++out.acked;
+      s.waitIdle();
+    }
+    s.drainAndStop();
+  } catch (const FailPointAbort&) {
+    out.died = true;
+  }
+  if (FailPoints::instance().killed()) out.died = true;
+  return out;
+}
+
+/// Disarmed recovery + verification half of every crash case: restart
+/// over `dir`, let replay finish, resubmit everything past the durably
+/// applied prefix, and check the final ranks against the offline twin
+/// within the published certificate.
+void verifyCrashRecovery(const std::string& dir, const CsrGraph& initial,
+                         const std::vector<BatchUpdate>& batches,
+                         ServiceOptions opt, std::size_t ackedBeforeDeath,
+                         const std::string& label) {
+  FailPoints::instance().disarmAll();
+  opt.durability.directory = dir;
+  RankService s(initial, opt);
+  s.waitIdle();  // recovery replay (and its forced checkpoint) done
+  const std::uint64_t applied = s.stats().batchesApplied;
+
+  // THE durability guarantee: every acknowledged batch survived the
+  // kill. (applied may exceed acked by journaled-but-unacked batches —
+  // at-least-once, never lossy.)
+  EXPECT_GE(applied, ackedBeforeDeath) << label;
+  ASSERT_LE(applied, batches.size()) << label;
+
+  // Journal order is submission order, so the durable prefix is exactly
+  // batches[0..applied): resubmit the rest and the ranks must land on
+  // the same fixpoint a crash-free run reaches.
+  for (std::size_t i = applied; i < batches.size(); ++i)
+    ASSERT_TRUE(s.submit(batches[i])) << label;
+  s.drainAndStop();
+  EXPECT_EQ(s.staleness().pendingBatches, 0u) << label;
+  const SnapshotView v = s.snapshot();
+  ASSERT_TRUE(v) << label;
+  EXPECT_TRUE(v->converged) << label;
+  EXPECT_LT(
+      linfNorm(v->ranks, offlineReference(initial, batches, batches.size())),
+      v->toleranceBound)
+      << label;
+}
+
+TEST_F(DurabilityTest, CrashMatrixEveryFailPointRecovers) {
+  const auto initial = makeTestGraph(56);
+  const auto batches = makeBatches(initial, 6, 57);
+  auto& fp = FailPoints::instance();
+
+  // Clean enumeration run (also a correctness check in its own right):
+  // both phases execute with nothing armed, recording every fail point
+  // the durability paths traverse — including the restart-recovery ones.
+  fp.disarmAll();
+  const fs::path cleanDir = dir_ / "clean";
+  ServiceOptions opt = durableOptions(/*checkpointEverySolves=*/1);
+  opt.durability.directory = cleanDir.string();
+  const CrashOutcome clean =
+      runCrashScenario(cleanDir.string(), initial, batches, opt);
+  ASSERT_FALSE(clean.died);
+  ASSERT_EQ(clean.acked, batches.size());
+  // Collect the enumeration BEFORE the verify pass (whose disarmAll
+  // clears the seen-set as a side effect).
+  const std::vector<std::string> points = fp.pointsSeen();
+  verifyCrashRecovery(cleanDir.string(), initial, batches, opt, clean.acked,
+                      "clean");
+  ASSERT_GE(points.size(), 10u)
+      << "the durability paths should traverse write/fsync/rename/mmap "
+         "sites; the instrumentation went missing";
+
+  // The matrix: one kill-restart-verify act per point.
+  for (const std::string& point : points) {
+    const std::string label = "fail point '" + point + "'";
+    std::string safe = point;
+    for (char& c : safe)
+      if (c == '.' || c == '/') c = '_';
+    const fs::path caseDir = dir_ / ("matrix-" + safe);
+    ServiceOptions copt = durableOptions(/*checkpointEverySolves=*/1);
+    copt.durability.directory = caseDir.string();
+
+    fp.disarmAll();
+    fp.armKill(point);
+    const CrashOutcome outcome =
+        runCrashScenario(caseDir.string(), initial, batches, copt);
+    EXPECT_TRUE(outcome.died) << label << " never fired";
+    verifyCrashRecovery(caseDir.string(), initial, batches, copt,
+                        outcome.acked, label);
+  }
+}
+
+// Randomized lane (nightly runs this 100x with different seeds): pick a
+// pseudo-random fail point and hit count from LFPR_CRASH_SEED and run
+// one kill-restart-verify act. Deterministic per seed.
+TEST_F(DurabilityTest, RandomizedCrashSeedRecovers) {
+  std::uint64_t seed = 1;
+  if (const char* env = std::getenv("LFPR_CRASH_SEED"))
+    seed = std::strtoull(env, nullptr, 10);
+  const auto initial = makeTestGraph(58 + seed);
+  const auto batches = makeBatches(initial, 6, 59 + seed);
+  auto& fp = FailPoints::instance();
+
+  // Enumerate from a clean run with this seed's workload.
+  fp.disarmAll();
+  const fs::path cleanDir = dir_ / "clean";
+  ServiceOptions opt = durableOptions(/*checkpointEverySolves=*/1);
+  opt.durability.directory = cleanDir.string();
+  const CrashOutcome clean =
+      runCrashScenario(cleanDir.string(), initial, batches, opt);
+  ASSERT_FALSE(clean.died);
+  const std::vector<std::string> points = fp.pointsSeen();
+  fp.disarmAll();
+  ASSERT_FALSE(points.empty());
+
+  Rng rng(seed);
+  const std::string point = points[rng() % points.size()];
+  const std::uint64_t hit = 1 + rng() % 3;
+  const std::string label =
+      "seed " + std::to_string(seed) + ": kill '" + point + "' hit " +
+      std::to_string(hit);
+
+  const fs::path caseDir = dir_ / "case";
+  ServiceOptions copt = durableOptions(/*checkpointEverySolves=*/1);
+  copt.durability.directory = caseDir.string();
+  fp.armKill(point, hit);
+  const CrashOutcome outcome =
+      runCrashScenario(caseDir.string(), initial, batches, copt);
+  // A late hit index may never be reached; that is a (boring) clean run.
+  verifyCrashRecovery(caseDir.string(), initial, batches, copt, outcome.acked,
+                      label);
+}
+
+#endif  // LFPR_FAILPOINTS
+
+}  // namespace
+}  // namespace lfpr
