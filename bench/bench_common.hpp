@@ -88,7 +88,9 @@ inline void printProtocolStats(const std::string& label, const PageRankResult& r
             << "]: rank_publishes=" << r.protocolStats.rankPublishes
             << " re_pulls=" << r.protocolStats.rePulls
             << " flag_rmws=" << r.protocolStats.flagRmws
-            << " ring_pushes=" << r.protocolStats.ringPushes << "\n";
+            << " ring_pushes=" << r.protocolStats.ringPushes
+            << " residual_pushes=" << r.protocolStats.residualPushes
+            << " activations=" << r.protocolStats.activations << "\n";
 }
 
 }  // namespace lfpr::bench

@@ -20,6 +20,14 @@
 // should track or beat DFLF at small fractions (iteration cost
 // proportional to the frontier, not |V|) and lose at large fractions
 // where the frontier is dense and the dense sweep's locality wins.
+//
+// PR 8 adds a DFLF_push series — the delta-push residual engine
+// (Approach::DeltaPush) — targeting the mid-density gap (~1e-5..1e-3)
+// where the worklist's per-visit re-pulls and the dense sweep's O(|V|)
+// iterations both do redundant work: push cost scales with the injected
+// mass (touched edges decay geometrically per hop), so it should win the
+// middle of the sweep and concede both ends.
+#include <algorithm>
 #include <map>
 
 #include "bench_common.hpp"
@@ -51,6 +59,7 @@ int main() {
   // runtimes[approach][fraction] -> per-graph times for the geomean.
   std::map<Approach, std::map<double, std::vector<double>>> runtimes;
   std::map<double, std::vector<double>> dflfWlMs, dflfWlErr;
+  std::map<double, std::vector<double>> dflfPushMs, dflfPushErr;
   std::map<double, std::vector<double>> dflfErr, dfbbErr, ndlfErr;
   std::map<double, std::vector<double>> affectedShare;
 
@@ -60,7 +69,7 @@ int main() {
     const auto opt = bench::benchOptions(cfg, base.numVertices());
 
     Table table({"batch_frac", "StaticBB", "NDBB", "DFBB", "StaticLF", "NDLF",
-                 "DFLF", "DFLF_wl", "DFLF_affected", "DFLF_err"});
+                 "DFLF", "DFLF_wl", "DFLF_push", "DFLF_affected", "DFLF_err"});
 
     // Static runs do not depend on the batch: time them once per graph.
     const auto currForStatic = base.toCsr();
@@ -97,6 +106,14 @@ int main() {
       dflfWlMs[fraction].push_back(wlMs);
       dflfWlErr[fraction].push_back(linfNorm(dfLfWlResult.ranks, ref));
 
+      // Delta-push residual engine (PR 8 mid-density series).
+      PageRankResult pushResult;
+      const double pushMs = bench::timedMs(cfg, [&] {
+        pushResult = runOnScenario(Approach::DeltaPush, scenario, opt);
+      });
+      dflfPushMs[fraction].push_back(pushMs);
+      dflfPushErr[fraction].push_back(linfNorm(pushResult.ranks, ref));
+
       for (Approach a : kApproaches) runtimes[a][fraction].push_back(ms[a]);
       dflfErr[fraction].push_back(linfNorm(dfLfResult.ranks, ref));
       dfbbErr[fraction].push_back(linfNorm(dfBbResult.ranks, ref));
@@ -109,11 +126,13 @@ int main() {
                     bench::fmtMs(ms[Approach::NDBB]), bench::fmtMs(ms[Approach::DFBB]),
                     bench::fmtMs(ms[Approach::StaticLF]),
                     bench::fmtMs(ms[Approach::NDLF]), bench::fmtMs(ms[Approach::DFLF]),
-                    bench::fmtMs(wlMs),
+                    bench::fmtMs(wlMs), bench::fmtMs(pushMs),
                     Table::count(dfLfResult.affectedVertices),
                     Table::sci(linfNorm(dfLfResult.ranks, ref), 1)});
-      if (fraction == kFractions[0])
+      if (fraction == kFractions[0]) {
         bench::printProtocolStats(spec.name + "/DFLF_wl", dfLfWlResult);
+        bench::printProtocolStats(spec.name + "/DFLF_push", pushResult);
+      }
     }
     std::cout << "--- " << spec.name << " (" << spec.family << ") ---\n";
     table.print(std::cout);
@@ -122,31 +141,38 @@ int main() {
 
   std::cout << "=== (b) geometric-mean runtime across graphs ===\n";
   Table meanTable({"batch_frac", "StaticBB", "NDBB", "DFBB", "StaticLF", "NDLF",
-                   "DFLF", "DFLF_wl", "DFLF/StaticLF", "DFLF/NDLF",
-                   "DFLF_wl/DFLF", "affected_share"});
+                   "DFLF", "DFLF_wl", "DFLF_push", "DFLF/StaticLF", "DFLF/NDLF",
+                   "DFLF_wl/DFLF", "push/best_pull", "affected_share"});
   for (double fraction : kFractions) {
     std::map<Approach, double> gm;
     for (Approach a : kApproaches) gm[a] = geomean(runtimes[a][fraction]);
     const double gmWl = geomean(dflfWlMs[fraction]);
+    const double gmPush = geomean(dflfPushMs[fraction]);
+    // "push/best_pull" > 1 means delta-push beat BOTH pull schedulers at
+    // this fraction — the band-ownership readout behind BENCH_pr8.json.
+    const double bestPull = std::min(gm[Approach::DFLF], gmWl);
     meanTable.addRow(
         {Table::sci(fraction, 0), bench::fmtMs(gm[Approach::StaticBB]),
          bench::fmtMs(gm[Approach::NDBB]), bench::fmtMs(gm[Approach::DFBB]),
          bench::fmtMs(gm[Approach::StaticLF]), bench::fmtMs(gm[Approach::NDLF]),
          bench::fmtMs(gm[Approach::DFLF]), bench::fmtMs(gmWl),
+         bench::fmtMs(gmPush),
          Table::num(gm[Approach::StaticLF] / gm[Approach::DFLF], 2) + "x",
          Table::num(gm[Approach::NDLF] / gm[Approach::DFLF], 2) + "x",
          Table::num(gm[Approach::DFLF] / gmWl, 2) + "x",
+         Table::num(bestPull / gmPush, 2) + "x",
          Table::num(mean(affectedShare[fraction]), 2)});
   }
   meanTable.print(std::cout);
 
   std::cout << "\n=== (c) mean L-inf error vs reference ===\n";
-  Table err({"batch_frac", "DFBB_err", "DFLF_err", "DFLF_wl_err", "NDLF_err",
-             "tolerance_note"});
+  Table err({"batch_frac", "DFBB_err", "DFLF_err", "DFLF_wl_err",
+             "DFLF_push_err", "NDLF_err", "tolerance_note"});
   for (double fraction : kFractions) {
     err.addRow({Table::sci(fraction, 0), Table::sci(mean(dfbbErr[fraction]), 1),
                 Table::sci(mean(dflfErr[fraction]), 1),
                 Table::sci(mean(dflfWlErr[fraction]), 1),
+                Table::sci(mean(dflfPushErr[fraction]), 1),
                 Table::sci(mean(ndlfErr[fraction]), 1),
                 "tau scales as 1e-3/|V| (see DESIGN.md)"});
   }

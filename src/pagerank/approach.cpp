@@ -1,5 +1,5 @@
-// Uniform dispatch over the eight engines, used by the experiment
-// harness and the benches.
+// Uniform dispatch over the eight engines (plus the opt-in DeltaPush
+// family), used by the experiment harness and the benches.
 #include "pagerank/pagerank.hpp"
 
 namespace lfpr {
@@ -17,6 +17,8 @@ PageRankResult runApproach(Approach approach, const CsrGraph& prev,
     case Approach::DTLF: return dtLF(prev, curr, batch, prevRanks, opt, fault);
     case Approach::DFBB: return dfBB(prev, curr, batch, prevRanks, opt, fault);
     case Approach::DFLF: return dfLF(prev, curr, batch, prevRanks, opt, fault);
+    case Approach::DeltaPush:
+      return deltaPush(prev, curr, batch, prevRanks, opt, fault);
   }
   throw std::invalid_argument("runApproach: unknown approach");
 }

@@ -51,6 +51,16 @@ class AtomicF64Vector {
     return v_[i].exchange(x, std::memory_order_relaxed);
   }
 
+  /// Atomically add x and return the value held *before* the add (C++20
+  /// floating-point fetch_add — one lock-free RMW, not a hand-rolled CAS
+  /// loop). This is the delta-push engine's residual accumulator: pushes
+  /// from concurrent threads can never lose mass, and the returned
+  /// before-value is what the activation-threshold crossing test is made
+  /// from (sched/work_ring.hpp, crossedThreshold).
+  double fetchAdd(std::size_t i, double x) noexcept {
+    return v_[i].fetch_add(x, std::memory_order_relaxed);
+  }
+
   void fill(double x) noexcept {
     for (auto& a : v_) a.store(x, std::memory_order_relaxed);
   }

@@ -1,0 +1,34 @@
+// Lock-free delta-push residual PageRank (the PR 8 engine family; not
+// one of the paper's eight). The DF marking phase seeds per-vertex
+// residual accumulators with one pull each; from then on the solve is
+// pull-free — workers forward-push only the changed mass through C++20
+// floating-point fetch-adds, activating neighbours into the PR 5
+// worklist machinery when a push crosses the activation threshold. See
+// detail/delta_push.cpp for the protocol mapping.
+#include "pagerank/detail/engine_step.hpp"
+#include "pagerank/pagerank.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace lfpr {
+
+PageRankResult deltaPush(const CsrGraph& prev, const CsrGraph& curr,
+                         const BatchUpdate& batch,
+                         std::span<const double> prevRanks,
+                         const PageRankOptions& opt, FaultInjector* fault) {
+  // One-shot wrapper over the resumable step API, like dynamicLF: a
+  // fresh state seeded with prevRanks, exactly one push step, ranks
+  // copied out. Long-lived callers (service/rank_service.cpp) keep the
+  // state — and its parked residuals — across steps instead.
+  if (prevRanks.size() != curr.numVertices())
+    throw std::invalid_argument("deltaPush: prevRanks size must match graph");
+  detail::LfEngineState state(curr.numVertices());
+  state.seedRanks(prevRanks);
+  PageRankResult result =
+      detail::lfDeltaPushStep(state, prev, curr, batch, opt, fault, "deltaPush");
+  result.ranks = state.ranks.toVector();
+  return result;
+}
+
+}  // namespace lfpr

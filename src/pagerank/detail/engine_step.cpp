@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "pagerank/detail/common.hpp"
+#include "pagerank/detail/delta_push.hpp"
 #include "pagerank/detail/lf_iterate.hpp"
 #include "pagerank/detail/marking.hpp"
 #include "pagerank/error.hpp"
@@ -70,6 +71,7 @@ PageRankResult lfFullStep(LfEngineState& state, const CsrGraph& curr,
   // Paper Algorithm 4 note: RC semantics are 1 = "rank has not yet
   // converged"; every vertex starts unconverged for Static/ND.
   state.notConverged.fill(1);
+  state.residualValid = false;  // ranks will move outside residual tracking
   RoundCursorSet rounds(n, resolved.chunkSize,
                         static_cast<std::size_t>(resolved.maxIterations));
   std::atomic<bool> allConverged{false};
@@ -156,6 +158,7 @@ PageRankResult lfDynamicStep(LfEngineState& state, const CsrGraph& prev,
   state.affected.fill(0);
   state.notConverged.fill(0);
   state.checked.fill(0);
+  state.residualValid = false;  // ranks will move outside residual tracking
 
   const bool useWorklist = resolved.scheduling == SchedulingMode::Worklist;
   // Worklist solves detect convergence on the per-vertex flags; the
@@ -223,6 +226,120 @@ PageRankResult lfDynamicStep(LfEngineState& state, const CsrGraph& prev,
   result.affectedVertices = state.affected.countNonZero();
   result.protocolStats = counters.snapshot();
   if (worklist) result.protocolStats.ringPushes = worklist->pushes();
+  return result;
+}
+
+PageRankResult lfDeltaPushStep(LfEngineState& state, const CsrGraph& prev,
+                               const CsrGraph& curr, const BatchUpdate& batch,
+                               const PageRankOptions& opt, FaultInjector* fault,
+                               const char* name) {
+  const std::size_t n = curr.numVertices();
+  if (state.size() != n)
+    throw std::invalid_argument(std::string(name) +
+                                ": prevRanks size must match graph");
+  if (prev.numVertices() != curr.numVertices())
+    throw std::invalid_argument(
+        std::string(name) +
+        ": snapshots must share the vertex set (no vertex insertions/deletions)");
+  for (const Edge& e : batch.deletions)
+    if (e.src >= curr.numVertices() || e.dst >= curr.numVertices())
+      throw std::out_of_range(std::string(name) + ": batch edge out of range");
+  for (const Edge& e : batch.insertions)
+    if (e.src >= curr.numVertices() || e.dst >= curr.numVertices())
+      throw std::out_of_range(std::string(name) + ": batch edge out of range");
+
+  PageRankResult result;
+  if (n == 0) {
+    result.converged = true;
+    result.toleranceBound = asyncToleranceBound(opt.tolerance, opt.alpha);
+    return result;
+  }
+
+  ThreadTeam team(opt.numThreads);
+  PageRankOptions resolved = opt;
+  resolved.numThreads = team.size();
+
+  const std::vector<Edge> edges = concatBatch(batch);
+  const auto pullCsr = buildPullLayout(resolved, curr);
+  const WeightedPullCsr* pull = pullCsr ? &*pullCsr : nullptr;
+  state.affected.fill(0);
+  state.notConverged.fill(0);
+  state.checked.fill(0);
+
+  // Residual persistence (see LfEngineState): after a converged push step
+  // the parked sub-threshold residuals are still-valid pending mass, so
+  // only an invalidated array pays the O(n) clear.
+  AtomicF64Vector& residual = state.ensureResidual();
+  if (!state.residualValid) residual.fill(0.0);
+  state.residualValid = false;  // re-validated below only on convergence
+
+  const std::size_t numSeedChunks =
+      (n + resolved.chunkSize - 1) / resolved.chunkSize;
+  AtomicU8Vector seedDone(numSeedChunks, 0);
+  ChunkCursor markCursor(edges.size(), kEdgeChunkSize);
+  ChunkCursor seedCursor(n, resolved.chunkSize);
+  std::atomic<bool> allConverged{false};
+  std::atomic<int> maxRound{0};
+  std::atomic<std::uint64_t> rankUpdates{0};
+  ProtocolCounters counters;
+
+  // Delta-push is worklist-driven by construction; the DF marking phase
+  // seeds the rings, so the solve starts sparse like any DT/DF worklist
+  // solve.
+  WorklistScheduler worklist(n, team.size(), /*seedSweep=*/false);
+
+  const DeltaPushShared shared{curr,        pull,        state.ranks,
+                               residual,    state.notConverged,
+                               state.affected,           seedDone,
+                               seedCursor,  allConverged, maxRound,
+                               rankUpdates, resolved,    fault,
+                               worklist,    &counters};
+  const Stopwatch timer;
+  // Phase A: DF marking, then residual seeding against the still-frozen
+  // ranks. The helping rescans inside both workers mean a returning
+  // thread has seen every chunk finished — and the join plus the
+  // sequential repair below cover the all-crashed corner.
+  team.run([&](int tid) {
+    if (fault != nullptr && fault->crashed(tid)) return;
+    const MarkShared mark{prev,       curr,
+                          edges,      state.checked,
+                          state.affected, state.notConverged,
+                          /*chunkFlags=*/nullptr, resolved.chunkSize,
+                          markCursor, /*traverse=*/false,
+                          fault,      &worklist,
+                          &counters};
+    if (!markAffectedWorker(mark, tid)) return;  // crashed mid-marking
+    seedResidualWorker(shared, tid);
+  });
+  seedResidualRepair(shared);
+
+  // Phase B: ranks start moving only now, with every seed in place.
+  if (!stopSeen(resolved)) {
+    team.run([&](int tid) {
+      if (fault != nullptr && fault->crashed(tid)) return;
+      deltaPushWorker(shared, tid);
+    });
+  }
+  // Absorb flags re-marked by drains that were still in flight when the
+  // convergence scan passed (termination protocol, part 3).
+  deltaPushFinishSequential(shared);
+  result.timeMs = timer.elapsedMs();
+
+  // The flags, not allConverged, are the authority — as everywhere else.
+  finishResult(result, resolved, state.notConverged.allZero());
+  if (result.converged && resolved.pushRelativeTolerance > 0.0) {
+    // Relative-threshold certificate: ranks never exceed 1, so parked
+    // |residual| <= tolerance + pushRelativeTolerance everywhere.
+    result.toleranceBound = asyncToleranceBound(
+        resolved.tolerance + resolved.pushRelativeTolerance, resolved.alpha);
+  }
+  state.residualValid = result.converged;
+  result.iterations = maxRound.load();
+  result.rankUpdates = rankUpdates.load();
+  result.affectedVertices = state.affected.countNonZero();
+  result.protocolStats = counters.snapshot();
+  result.protocolStats.ringPushes = worklist.pushes();
+  result.protocolStats.activations = worklist.activations();
   return result;
 }
 

@@ -28,6 +28,7 @@
 // lf_iterate.cpp; only the ownership of the buffers moved.
 #pragma once
 
+#include <memory>
 #include <span>
 
 #include "graph/csr.hpp"
@@ -53,10 +54,28 @@ struct LfEngineState {
 
   [[nodiscard]] std::size_t size() const noexcept { return ranks.size(); }
 
+  /// Lazily allocate the delta-push residual array (8n bytes nobody else
+  /// pays for: pull-only step sequences never call this).
+  AtomicF64Vector& ensureResidual() {
+    if (!residual) residual = std::make_unique<AtomicF64Vector>(size(), 0.0);
+    return *residual;
+  }
+
   AtomicF64Vector ranks;
   AtomicU8Vector affected;      // dynamic steps only
   AtomicU8Vector notConverged;  // the termination protocol's RC flags
   AtomicU8Vector checked;       // marking-phase helping flags
+
+  /// Delta-push residual accumulators (lfDeltaPushStep only; null until
+  /// the first push step). A *converged* push step leaves sub-threshold
+  /// parked residuals here that are still-valid pending mass for the next
+  /// push step — the next seed recomputes affected vertices exactly and
+  /// keeps the rest, avoiding an O(n) clear per step. Any pull step
+  /// (lfFullStep / lfDynamicStep) mutates ranks without maintaining the
+  /// residuals, so it flips residualValid off and the next push step
+  /// zero-fills.
+  std::unique_ptr<AtomicF64Vector> residual;
+  bool residualValid = false;
 };
 
 /// One full solve step: every vertex starts unconverged, state.ranks is
@@ -76,5 +95,17 @@ PageRankResult lfDynamicStep(LfEngineState& state, const CsrGraph& prev,
                              const PageRankOptions& opt, FaultInjector* fault,
                              bool traverse, bool expandFrontier,
                              const char* name);
+
+/// One batch-incremental *delta-push* solve step (the PR 8 engine,
+/// detail/delta_push.cpp): DF marking seeds per-vertex residuals, then
+/// workers forward-push only the changed mass instead of re-pulling every
+/// incident edge of every dirty vertex. Same contract as lfDynamicStep
+/// (state.ranks must hold converged ranks for `prev`); opt.scheduling is
+/// ignored — the engine is worklist-driven by construction. Validation
+/// errors are labelled with `name`.
+PageRankResult lfDeltaPushStep(LfEngineState& state, const CsrGraph& prev,
+                               const CsrGraph& curr, const BatchUpdate& batch,
+                               const PageRankOptions& opt, FaultInjector* fault,
+                               const char* name);
 
 }  // namespace lfpr::detail

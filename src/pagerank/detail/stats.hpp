@@ -17,14 +17,19 @@ struct ProtocolCounters {
   std::atomic<std::uint64_t> rankPublishes{0};
   std::atomic<std::uint64_t> rePulls{0};
   std::atomic<std::uint64_t> flagRmws{0};
+  /// DeltaPush: residual fetch-adds into out-neighbours (engines flush
+  /// one add per drained vertex — the out-degree — not one per edge).
+  std::atomic<std::uint64_t> residualPushes{0};
 
-  /// Snapshot into the result struct (ring pushes are counted by the
-  /// WorklistScheduler and merged in by the engine).
+  /// Snapshot into the result struct (ring pushes and threshold-crossing
+  /// activations are counted by the WorklistScheduler and merged in by
+  /// the engine).
   [[nodiscard]] ProtocolStats snapshot() const noexcept {
     ProtocolStats s;
     s.rankPublishes = rankPublishes.load(std::memory_order_relaxed);
     s.rePulls = rePulls.load(std::memory_order_relaxed);
     s.flagRmws = flagRmws.load(std::memory_order_relaxed);
+    s.residualPushes = residualPushes.load(std::memory_order_relaxed);
     return s;
   }
 };

@@ -68,6 +68,16 @@ struct PageRankOptions {
   PullLayout pullLayout = PullLayout::Csr;
   /// Work-discovery scheme for the lock-free engines (see SchedulingMode).
   SchedulingMode scheduling = SchedulingMode::Chunked;
+  /// DeltaPush only: Ligra-PRDelta-style relative term of the activation
+  /// threshold. A neighbour is activated when its residual crosses
+  /// `tolerance + pushRelativeTolerance * |rank[v]|`; the default 0 keeps
+  /// the threshold at the absolute per-vertex tau the flag protocol
+  /// already uses, so the §4.5 certificate is the usual
+  /// asyncToleranceBound. A positive value trades certificate tightness
+  /// for fewer activations on high-rank vertices (ranks are bounded by 1,
+  /// so the converged bound becomes asyncToleranceBound(tolerance +
+  /// pushRelativeTolerance, alpha)).
+  double pushRelativeTolerance = 0.0;
   /// BB engines: how long a thread may wait at a barrier before the run
   /// is declared dead (crash-stop deadlock detection).
   std::chrono::milliseconds barrierTimeout{60'000};
@@ -105,6 +115,14 @@ struct ProtocolStats {
   std::uint64_t flagRmws = 0;
   /// Successful dirty-vertex ring pushes (Worklist scheduling only).
   std::uint64_t ringPushes = 0;
+  /// Residual fetch-adds into out-neighbours (DeltaPush only) — the
+  /// push-engine analogue of per-edge pull work, so push-vs-pull
+  /// redundant-work claims are measurable, not inferred.
+  std::uint64_t residualPushes = 0;
+  /// Threshold-crossing activations (DeltaPush only): pushes whose
+  /// target residual crossed the activation threshold and entered the
+  /// worklist (counted by WorklistScheduler::activate).
+  std::uint64_t activations = 0;
 };
 
 struct PageRankResult {
@@ -146,6 +164,10 @@ enum class Approach : int {
   DTLF,
   DFBB,
   DFLF,
+  /// Opt-in third engine family (not one of the paper's eight): lock-free
+  /// forward-push over per-vertex residual accumulators, DF marking
+  /// semantics. See pagerank.hpp deltaPush().
+  DeltaPush,
 };
 
 inline const char* approachName(Approach a) noexcept {
@@ -158,19 +180,24 @@ inline const char* approachName(Approach a) noexcept {
     case Approach::DTLF: return "DTLF";
     case Approach::DFBB: return "DFBB";
     case Approach::DFLF: return "DFLF";
+    case Approach::DeltaPush: return "DeltaPush";
   }
   return "?";
 }
 
 inline bool isLockFree(Approach a) noexcept {
   return a == Approach::StaticLF || a == Approach::NDLF || a == Approach::DTLF ||
-         a == Approach::DFLF;
+         a == Approach::DFLF || a == Approach::DeltaPush;
 }
 
 inline bool isDynamicApproach(Approach a) noexcept {
   return a != Approach::StaticBB && a != Approach::StaticLF;
 }
 
+/// The paper's eight engines — the ablation sweeps iterate exactly these.
+/// DeltaPush is dispatchable through runApproach but deliberately not
+/// listed: it is this repo's extension, benched against DFLF explicitly
+/// (bench_fig7_batch_sweep) rather than folded into every paper table.
 constexpr Approach kAllApproaches[] = {
     Approach::StaticBB, Approach::StaticLF, Approach::NDBB, Approach::NDLF,
     Approach::DTBB,     Approach::DTLF,     Approach::DFBB, Approach::DFLF,

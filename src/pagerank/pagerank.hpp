@@ -66,8 +66,21 @@ PageRankResult dfLF(const CsrGraph& prev, const CsrGraph& curr, const BatchUpdat
                     std::span<const double> prevRanks, const PageRankOptions& opt = {},
                     FaultInjector* fault = nullptr);
 
-/// Uniform dispatch over all eight engines (harness convenience). Static
-/// engines ignore prev/batch/prevRanks; ND engines ignore prev/batch.
+/// Lock-free delta-push residual engine (opt-in; not one of the paper's
+/// eight). DF marking seeds per-vertex residual accumulators, then
+/// workers forward-push only the changed mass through lock-free
+/// fetch-adds — built for the mid-density batch band where both pull
+/// schedulers do redundant work. opt.scheduling is ignored (the engine
+/// is worklist-driven by construction); see opt.pushRelativeTolerance.
+PageRankResult deltaPush(const CsrGraph& prev, const CsrGraph& curr,
+                         const BatchUpdate& batch,
+                         std::span<const double> prevRanks,
+                         const PageRankOptions& opt = {},
+                         FaultInjector* fault = nullptr);
+
+/// Uniform dispatch over all eight engines plus DeltaPush (harness
+/// convenience). Static engines ignore prev/batch/prevRanks; ND engines
+/// ignore prev/batch.
 PageRankResult runApproach(Approach approach, const CsrGraph& prev,
                            const CsrGraph& curr, const BatchUpdate& batch,
                            std::span<const double> prevRanks,

@@ -232,6 +232,39 @@ class WorklistScheduler {
     return pushes_.load(std::memory_order_relaxed);
   }
 
+  // Activation-threshold hooks (DeltaPush, PR 8). The push engine does
+  // not mark a neighbour on every residual add — only when the add moved
+  // the residual across the activation threshold. The crossing predicate
+  // and the counted entry point live here so the scheduler owns the
+  // "what enters the worklist" policy in one place.
+
+  /// True when a residual fetch-add moved |residual| from at-or-below the
+  /// threshold to above it. An add on an already-above residual needs no
+  /// new activation (the crossing that got it there marked the vertex,
+  /// and any clear in between reverifies against the current value —
+  /// clear-then-reverify, lf_iterate.cpp part 1); an add that lands
+  /// at-or-below needs none either.
+  [[nodiscard]] static bool crossedThreshold(double before, double after,
+                                             double threshold) noexcept {
+    return !(before > threshold) && !(before < -threshold) &&
+           (after > threshold || after < -threshold);
+  }
+
+  /// enqueue() plus the activation counter: the entry point for
+  /// threshold-crossing marks. The caller must have release-marked the
+  /// vertex's notConverged flag first (flags.hpp ordering doctrine).
+  void activate(std::size_t v) noexcept {
+    enqueue(v);
+#if defined(LFPR_STATS)
+    activations_.fetch_add(1, std::memory_order_relaxed);
+#endif
+  }
+
+  /// Total threshold-crossing activations (LFPR_STATS builds only).
+  [[nodiscard]] std::uint64_t activations() const noexcept {
+    return activations_.load(std::memory_order_relaxed);
+  }
+
   /// Global progress heartbeat: workers bump it whenever they process
   /// vertices. A personally-quiescent worker that sees it advance across
   /// a yield leaves the remaining dirt to the thread working on it —
@@ -255,6 +288,7 @@ class WorklistScheduler {
   std::deque<WorkRing> rings_;
   std::atomic<bool> sparse_{false};
   std::atomic<std::uint64_t> pushes_{0};
+  std::atomic<std::uint64_t> activations_{0};
   alignas(64) std::atomic<std::uint64_t> progress_{0};
 };
 

@@ -250,6 +250,7 @@ ServiceStats RankService::stats() const {
   s.batchesApplied = batchesApplied_.load(std::memory_order_relaxed);
   s.edgesIngested = edgesIngested_.load(std::memory_order_relaxed);
   s.solves = solves_.load(std::memory_order_relaxed);
+  s.deltaPushSteps = deltaPushSteps_.load(std::memory_order_relaxed);
   s.recoveries = recoveries_.load(std::memory_order_relaxed);
   s.failedSteps = failedSteps_.load(std::memory_order_relaxed);
   s.reclaimedSnapshots = box_.reclaimedCount();
@@ -356,6 +357,25 @@ void RankService::publishConverged(const PageRankResult& result) {
   idleCv_.notify_all();
 }
 
+bool RankService::useDeltaPush(const BatchUpdate& merged) const {
+  switch (opt_.stepEngine) {
+    case ServiceOptions::StepEngine::Pull: return false;
+    case ServiceOptions::StepEngine::DeltaPush: return true;
+    case ServiceOptions::StepEngine::Auto: {
+      // Route by the merged batch's edge fraction: the push engine owns
+      // the mid-density band (see BENCH_pr8.json); tiny batches are
+      // cheaper under the pull worklist (the seed pull per marked vertex
+      // dominates) and huge ones under the dense pull sweep.
+      const auto graphEdges = static_cast<double>(curr_.numEdges());
+      if (graphEdges <= 0.0) return false;
+      const double fraction = static_cast<double>(merged.size()) / graphEdges;
+      return fraction >= ServiceOptions::kDeltaPushMinFraction &&
+             fraction <= ServiceOptions::kDeltaPushMaxFraction;
+    }
+  }
+  return false;
+}
+
 bool RankService::stepOnce(std::vector<Pending>&& group) {
   // Fold the group into the graph. prev/curr share the vertex set by
   // construction; the merged edge list is the marking-phase input.
@@ -382,6 +402,10 @@ bool RankService::stepOnce(std::vector<Pending>&& group) {
       // Initial solve, or a previous step exhausted recovery: ND
       // semantics — every vertex unconverged, current ranks as seed.
       result = detail::lfFullStep(state_, curr_, solveOpt, fault.get());
+    } else if (useDeltaPush(merged)) {
+      deltaPushSteps_.fetch_add(1, std::memory_order_relaxed);
+      result = detail::lfDeltaPushStep(state_, prev, curr_, merged, solveOpt,
+                                       fault.get(), "service");
     } else {
       result = detail::lfDynamicStep(state_, prev, curr_, merged, solveOpt,
                                      fault.get(), opt_.traverse,

@@ -98,6 +98,26 @@ struct ServiceOptions {
   bool traverse = false;
   bool expandFrontier = true;
 
+  /// Which engine family runs the incremental steps (full solves and
+  /// recovery re-solves always use the pull engine — their frontier is
+  /// the whole graph, far outside delta-push's band).
+  ///
+  ///   Pull       lfDynamicStep with traverse/expandFrontier above.
+  ///   DeltaPush  lfDeltaPushStep: residual forward-push (PR 8). DF
+  ///              marking by construction; `traverse` is ignored.
+  ///   Auto       route each step by the merged batch's edge fraction:
+  ///              DeltaPush inside [kDeltaPushMinFraction,
+  ///              kDeltaPushMaxFraction] — the mid-density band where
+  ///              the push engine beats both pull schedulers (see
+  ///              BENCH_pr8.json) — Pull outside it.
+  enum class StepEngine { Pull, DeltaPush, Auto };
+  StepEngine stepEngine = StepEngine::Pull;
+
+  /// Auto-routing band bounds: batch edges (deletions + insertions,
+  /// after coalescing) divided by current graph edges.
+  static constexpr double kDeltaPushMinFraction = 1e-5;
+  static constexpr double kDeltaPushMaxFraction = 1e-3;
+
   /// Bounded ingest queue: submit() blocks when full (backpressure).
   std::size_t queueCapacity = 256;
 
@@ -154,6 +174,10 @@ struct ServiceStats {
   std::uint64_t batchesApplied = 0;
   std::uint64_t edgesIngested = 0;
   std::uint64_t solves = 0;
+  /// Incremental steps routed to the delta-push engine (StepEngine::
+  /// DeltaPush always; StepEngine::Auto when the merged batch fell in
+  /// the mid-density band).
+  std::uint64_t deltaPushSteps = 0;
   std::uint64_t recoveries = 0;
   /// Steps that exhausted recovery and carried a full re-solve forward.
   std::uint64_t failedSteps = 0;
@@ -267,6 +291,8 @@ class RankService {
   /// One solve step over `group` (empty = initial/carried full solve).
   /// Returns false when a stop request ended the solve.
   bool stepOnce(std::vector<Pending>&& group);
+  /// Engine routing for one incremental step (ServiceOptions::stepEngine).
+  [[nodiscard]] bool useDeltaPush(const BatchUpdate& merged) const;
   void publishConverged(const PageRankResult& result);
   void validateBatch(const BatchUpdate& batch) const;
   [[nodiscard]] std::unique_ptr<FaultInjector> nextFault();
@@ -323,6 +349,7 @@ class RankService {
   std::atomic<std::uint64_t> batchesApplied_{0};
   std::atomic<std::uint64_t> edgesIngested_{0};
   std::atomic<std::uint64_t> solves_{0};
+  std::atomic<std::uint64_t> deltaPushSteps_{0};
   std::atomic<std::uint64_t> recoveries_{0};
   std::atomic<std::uint64_t> failedSteps_{0};
   std::atomic<bool> degraded_{false};

@@ -21,6 +21,7 @@
 
 #include "generate/generators.hpp"
 #include "graph/pull_csr.hpp"
+#include "harness/scenario.hpp"
 #include "pagerank/detail/common.hpp"
 #include "pagerank/pagerank.hpp"
 #include "util/rng.hpp"
@@ -284,6 +285,117 @@ TEST(KernelEquivalence, WorklistSchedulingThroughDynamicEngines) {
           << "layout " << static_cast<int>(layout);
     }
   }
+}
+
+// ----- Delta-push equivalence: the residual engine against the same ------
+// ----- long-double-derived bounds as the pull engines                ------
+
+DynamicScenario deltaPushScenario(std::uint64_t seed, double fraction) {
+  Rng rng(seed);
+  auto es = generateRmat(10, 8000, rng);
+  appendSelfLoops(es, 1024);
+  auto base = DynamicDigraph::fromEdges(1024, es);
+  PageRankOptions opt;
+  opt.numThreads = 4;
+  return makeScenario(std::move(base), fraction, seed + 1, opt);
+}
+
+TEST(KernelEquivalence, DeltaPushLandsWithinDerivedBounds) {
+  // The residual engine's parked mass keeps the converged error within
+  // asyncToleranceBound (tau/(1-alpha)), the same certificate the pull
+  // engines report — across both pull layouts (used by the seed phase
+  // only), thread counts, and batch fractions spanning the mid-density
+  // band the engine targets. The batches contain deletions, so negative
+  // residual mass is exercised too.
+  //
+  // Slack: 16x instead of the pull tests' 8x. The pull engines' error is
+  // dominated by each vertex's final sub-tolerance jump; the push engine
+  // additionally parks up to tau of residual at EVERY vertex at once,
+  // and parked upstream mass compounds through high-in-degree vertices
+  // ((I - alpha A)^{-1} amplifies the per-vertex tau by more than
+  // 1/(1-alpha) in the l-inf norm when rows of A sum above 1). Observed
+  // worst case is ~9x the certificate; 16x keeps the test sharp without
+  // flaking.
+  constexpr double kSlack = 16.0;
+  std::uint64_t seed = 41;
+  for (const double fraction : {1e-3, 1e-2}) {
+    const auto scenario = deltaPushScenario(seed++, fraction);
+    ASSERT_FALSE(scenario.batch.deletions.empty());
+    const auto ref = referenceRanks(scenario.curr);
+    for (PullLayout layout : {PullLayout::Csr, PullLayout::Weighted}) {
+      for (const int threads : {1, 4}) {
+        PageRankOptions opt;
+        opt.numThreads = threads;
+        opt.chunkSize = 64;
+        opt.pullLayout = layout;
+        const auto r = deltaPush(scenario.prev, scenario.curr, scenario.batch,
+                                 scenario.prevRanks, opt);
+        ASSERT_TRUE(r.converged)
+            << "layout " << static_cast<int>(layout) << " threads " << threads;
+        EXPECT_LT(linfNorm(r.ranks, ref),
+                  kSlack * asyncToleranceBound(opt.tolerance, opt.alpha))
+            << "layout " << static_cast<int>(layout) << " threads " << threads;
+        // Default (absolute-threshold) certificate.
+        EXPECT_DOUBLE_EQ(r.toleranceBound,
+                         asyncToleranceBound(opt.tolerance, opt.alpha));
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalence, DeltaPushThroughRunApproachDispatch) {
+  const auto scenario = deltaPushScenario(47, 1e-2);
+  const auto ref = referenceRanks(scenario.curr);
+  PageRankOptions opt;
+  opt.numThreads = 4;
+  opt.chunkSize = 64;
+  const auto r = runOnScenario(Approach::DeltaPush, scenario, opt);
+  ASSERT_TRUE(r.converged);
+  EXPECT_LT(linfNorm(r.ranks, ref),
+            16.0 * asyncToleranceBound(opt.tolerance, opt.alpha));
+  EXPECT_GT(r.affectedVertices, 0u);
+}
+
+TEST(KernelEquivalence, DeltaPushRelativeThresholdStaysWithinCertificate) {
+  // Ligra-PRDelta-style relative activation threshold: looser than the
+  // absolute tau, so the run converges against a *wider* certificate —
+  // asyncToleranceBound(tolerance + pushRelativeTolerance) since ranks
+  // never exceed 1 — and the result must both report and honour it.
+  const auto scenario = deltaPushScenario(53, 1e-2);
+  const auto ref = referenceRanks(scenario.curr);
+  constexpr double kSlack = 16.0;  // same parked-mass rationale as above
+  PageRankOptions opt;
+  opt.numThreads = 4;
+  opt.chunkSize = 64;
+  opt.pushRelativeTolerance = 1e-8;
+  const auto r = deltaPush(scenario.prev, scenario.curr, scenario.batch,
+                           scenario.prevRanks, opt);
+  ASSERT_TRUE(r.converged);
+  const double cert =
+      asyncToleranceBound(opt.tolerance + opt.pushRelativeTolerance, opt.alpha);
+  EXPECT_DOUBLE_EQ(r.toleranceBound, cert);
+  EXPECT_LT(linfNorm(r.ranks, ref), kSlack * cert);
+}
+
+TEST(KernelEquivalence, DeltaPushOnDeadEndHeavyGraph) {
+  // Mass pushed into a dead end is applied and stops there (invOutDegree
+  // is exactly 0.0) — the same leak semantics as the pull formulation,
+  // so the two engine families still agree on the fixpoint.
+  Rng rng(57);
+  auto es = generateRmat(9, 1500, rng);
+  const VertexId n = 1 << 9;
+  for (VertexId v = 0; v < n; v += 2) es.push_back({v, v});
+  auto base = DynamicDigraph::fromEdges(n, es);
+  PageRankOptions opt;
+  opt.numThreads = 4;
+  opt.chunkSize = 64;
+  const auto scenario = makeScenario(std::move(base), 1e-2, 58, opt);
+  const auto ref = referenceRanks(scenario.curr);
+  const auto r = deltaPush(scenario.prev, scenario.curr, scenario.batch,
+                           scenario.prevRanks, opt);
+  ASSERT_TRUE(r.converged);
+  EXPECT_LT(linfNorm(r.ranks, ref),
+            16.0 * asyncToleranceBound(opt.tolerance, opt.alpha));
 }
 
 }  // namespace

@@ -258,6 +258,85 @@ TEST(Faults, DelaysDoNotChangeDFLFResultBeyondTolerance) {
   EXPECT_LT(linfNorm(clean.ranks, faulty.ranks), 1e-6);
 }
 
+// Delta-push under faults (PR 8): the publish diet and the no-takeover
+// rule are healthy-mode only — with an injector present every rank apply
+// is a fetch-add, crashed owners' rings are drained by stealing and the
+// remaining flagged residuals are completed by recovery sweeps. A crash
+// during phase A (marking or residual seeding) is covered by the helping
+// rescans plus the sequential seed repair after the join.
+
+TEST(Faults, DeltaPushConvergesUnderRandomDelays) {
+  const auto scenario = makeFaultScenario(41);
+  const auto ref = referenceRanks(scenario.curr);
+  FaultConfig cfg;
+  cfg.delayProbability = 2e-4;
+  cfg.delayDuration = std::chrono::microseconds(2000);
+  FaultInjector fault(8, cfg);
+  const auto r = deltaPush(scenario.prev, scenario.curr, scenario.batch,
+                           scenario.prevRanks, faultOptions(), &fault);
+  EXPECT_TRUE(r.converged);
+  EXPECT_FALSE(r.dnf);
+  EXPECT_LT(linfNorm(r.ranks, ref), 1e-6);
+  EXPECT_GT(fault.delaysInjected(), 0u);
+}
+
+TEST(Faults, DeltaPushSurvivesCrashedThreads) {
+  const auto scenario = makeFaultScenario(42);
+  const auto ref = referenceRanks(scenario.curr);
+  FaultInjector fault(8, makeCrashConfig(8, 4, 50, 3000, 43));
+  const auto r = deltaPush(scenario.prev, scenario.curr, scenario.batch,
+                           scenario.prevRanks, faultOptions(), &fault);
+  EXPECT_TRUE(r.converged);
+  EXPECT_FALSE(r.dnf);
+  EXPECT_LT(linfNorm(r.ranks, ref), 1e-6);
+}
+
+TEST(Faults, DeltaPushCrashDuringSeedPhaseIsTolerated) {
+  // Crash within the first couple of processed vertices: for delta-push
+  // those are marking / residual-seeding updates, so this exercises the
+  // seedDone helping rescan and the post-join sequential repair.
+  const auto scenario = makeFaultScenario(44);
+  FaultConfig cfg;
+  cfg.crashAfterUpdates.assign(8, FaultConfig::noCrash);
+  cfg.crashAfterUpdates[0] = 1;
+  cfg.crashAfterUpdates[1] = 2;
+  cfg.crashAfterUpdates[2] = 3;
+  FaultInjector fault(8, cfg);
+  const auto r = deltaPush(scenario.prev, scenario.curr, scenario.batch,
+                           scenario.prevRanks, faultOptions(), &fault);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(linfNorm(r.ranks, referenceRanks(scenario.curr)), 1e-6);
+}
+
+TEST(Faults, DeltaPushAllThreadsCrashedMeansNoConvergence) {
+  // With every worker dead the sequential seed repair still completes
+  // phase A, but no drains run — the seeded flags stay set and the run
+  // must exit honestly unconverged (flags authority, never residuals).
+  const auto scenario = makeFaultScenario(45);
+  FaultConfig cfg;
+  cfg.crashAfterUpdates.assign(8, 1);
+  FaultInjector fault(8, cfg);
+  const auto r = deltaPush(scenario.prev, scenario.curr, scenario.batch,
+                           scenario.prevRanks, faultOptions(), &fault);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(fault.numCrashed(), 8);
+}
+
+TEST(Faults, DeltaPushDelaysDoNotChangeResultBeyondTolerance) {
+  const auto scenario = makeFaultScenario(46);
+  const auto clean = deltaPush(scenario.prev, scenario.curr, scenario.batch,
+                               scenario.prevRanks, faultOptions());
+  FaultConfig cfg;
+  cfg.delayProbability = 1e-4;
+  cfg.delayDuration = std::chrono::microseconds(1000);
+  FaultInjector fault(8, cfg);
+  const auto faulty = deltaPush(scenario.prev, scenario.curr, scenario.batch,
+                                scenario.prevRanks, faultOptions(), &fault);
+  ASSERT_TRUE(clean.converged);
+  ASSERT_TRUE(faulty.converged);
+  EXPECT_LT(linfNorm(clean.ranks, faulty.ranks), 1e-6);
+}
+
 TEST(Faults, CrashDuringMarkingPhaseIsTolerated) {
   // Crash almost immediately: for dynamic engines the first few
   // onVertexProcessed calls happen in the marking phase, so the helping

@@ -296,6 +296,115 @@ TEST(Service, ReadersKeepLastEpochAcrossCrashedSteps) {
             v->toleranceBound);
 }
 
+// ---------------------------------------------------------------------
+// Engine routing (PR 8): incremental steps through the delta-push
+// residual engine, explicitly or via the Auto mid-density band.
+
+TEST(Service, DeltaPushStepEngineMatchesOfflineSolve) {
+  const auto initial = makeTestGraph(40);
+  ServiceOptions opt = smallServiceOptions();
+  opt.stepEngine = ServiceOptions::StepEngine::DeltaPush;
+  RankService service(initial, opt);
+
+  auto offline = DynamicDigraph::fromCsr(initial);
+  offline.ensureSelfLoops();
+  Rng rng(41);
+  for (int b = 0; b < 6; ++b) {
+    const auto batch = generateBatch(offline, 150, rng);
+    offline.applyBatch(batch);
+    ASSERT_TRUE(service.submit(batch));
+  }
+  service.waitIdle();
+
+  const SnapshotView v = service.snapshot();
+  ASSERT_TRUE(v);
+  EXPECT_TRUE(v->converged);
+  EXPECT_EQ(v->batchesApplied, 6u);
+  // Every incremental step went through the push engine (the initial
+  // full solve stays pull — its frontier is the whole graph).
+  EXPECT_GT(service.stats().deltaPushSteps, 0u);
+  // Push steps park up to tau of residual mass at every vertex, so the
+  // drift allowance against the offline reference is wider than the
+  // pull service's certificate check — same 16x rationale as the
+  // delta-push sweeps in test_kernels.cpp.
+  const auto reference = referenceRanks(offline.toCsr());
+  EXPECT_LT(linfNorm(v->ranks, reference), 16.0 * v->toleranceBound);
+}
+
+TEST(Service, AutoRoutesMidBandBatchesToDeltaPush) {
+  const auto initial = makeTestGraph(42);
+  const double edges = static_cast<double>(
+      DynamicDigraph::fromCsr(initial).toCsr().numEdges());
+  ServiceOptions opt = smallServiceOptions();
+  opt.stepEngine = ServiceOptions::StepEngine::Auto;
+  RankService service(initial, opt);
+  service.waitForEpoch(1);
+
+  auto offline = DynamicDigraph::fromCsr(initial);
+  offline.ensureSelfLoops();
+  Rng rng(43);
+
+  // A batch inside the band: fraction in [1e-5, 1e-3] of graph edges.
+  const auto midEdges = static_cast<std::size_t>(std::max(
+      1.0, edges * ServiceOptions::kDeltaPushMaxFraction * 0.5));
+  const auto mid = generateBatch(offline, midEdges, rng);
+  offline.applyBatch(mid);
+  ASSERT_TRUE(service.submit(mid));
+  service.waitIdle();
+  EXPECT_EQ(service.stats().deltaPushSteps, 1u) << "mid-band batch";
+
+  // A batch far above the band routes back to the pull engine.
+  const auto big = generateBatch(offline, 400, rng);
+  offline.applyBatch(big);
+  ASSERT_TRUE(service.submit(big));
+  service.waitIdle();
+  EXPECT_EQ(service.stats().deltaPushSteps, 1u) << "dense batch stayed pull";
+
+  const SnapshotView v = service.snapshot();
+  EXPECT_TRUE(v->converged);
+  EXPECT_LT(linfNorm(v->ranks, referenceRanks(offline.toCsr())),
+            16.0 * v->toleranceBound);
+}
+
+TEST(Service, DeltaPushCrashedStepRecoversBeforePublish) {
+  // A delta-push step that loses every worker must behave exactly like a
+  // crashed pull step: nothing published until the service-level full
+  // re-solve converges.
+  const auto initial = makeTestGraph(44);
+  ServiceOptions opt = smallServiceOptions();
+  opt.stepEngine = ServiceOptions::StepEngine::DeltaPush;
+  std::atomic<int> crashedSolves{0};
+  opt.faultFactory =
+      [&](std::uint64_t solveIndex) -> std::unique_ptr<FaultInjector> {
+    if (solveIndex == 1) {  // the first (push) incremental step
+      crashedSolves.fetch_add(1);
+      return std::make_unique<FaultInjector>(
+          4, makeCrashConfig(4, 4, /*minUpdates=*/1, /*maxUpdates=*/8,
+                             /*seed=*/7));
+    }
+    return nullptr;
+  };
+  RankService service(initial, opt);
+  service.waitForEpoch(1);
+
+  auto offline = DynamicDigraph::fromCsr(initial);
+  offline.ensureSelfLoops();
+  Rng rng(45);
+  const auto batch = generateBatch(offline, 150, rng);
+  offline.applyBatch(batch);
+  ASSERT_TRUE(service.submit(batch));
+  service.waitIdle();
+
+  EXPECT_EQ(crashedSolves.load(), 1);
+  EXPECT_GE(service.stats().recoveries, 1u);
+  const SnapshotView v = service.snapshot();
+  EXPECT_TRUE(v->converged);
+  // The recovery full re-solve is a pull solve, so the ordinary
+  // certificate check applies.
+  EXPECT_LT(linfNorm(v->ranks, referenceRanks(offline.toCsr())),
+            v->toleranceBound);
+}
+
 // Readers hammer the service while batches stream in: every observed
 // snapshot is a published fixpoint (sums to 1 within its certificate,
 // converged, monotone epoch). A torn swap or rolled-back publish would
