@@ -27,10 +27,23 @@
 // iterations both do redundant work: push cost scales with the injected
 // mass (touched edges decay geometrically per hop), so it should win the
 // middle of the sweep and concede both ends.
+//
+// PR 9 adds an MC_repair series — one steady-state walk-repair step of
+// the resident Monte Carlo store (detail::lfMonteCarloStep against a
+// persistent LfEngineState, primed untimed) per fraction — measuring
+// walk-repair throughput vs the exact re-solves across the whole sweep.
+// It should dominate below ~1e-5 (repair cost scales with walks through
+// the batch's changed vertices, O(1) expected per edge) and converge
+// toward rebuild cost at large fractions where most walks are claimed.
+// Its error column (MC_l1_err, table (c)) is an L1 distance and sits at
+// the engine's *statistical* mcL1ErrorBound scale — orders of magnitude
+// above the exact engines' tolerance-band L-inf numbers by design;
+// comparable only against mcL1ErrorBound(alpha, R), not tau.
 #include <algorithm>
 #include <map>
 
 #include "bench_common.hpp"
+#include "pagerank/detail/engine_step.hpp"
 #include "pagerank/reference.hpp"
 
 using namespace lfpr;
@@ -60,6 +73,7 @@ int main() {
   std::map<Approach, std::map<double, std::vector<double>>> runtimes;
   std::map<double, std::vector<double>> dflfWlMs, dflfWlErr;
   std::map<double, std::vector<double>> dflfPushMs, dflfPushErr;
+  std::map<double, std::vector<double>> mcRepairMs, mcL1Err;
   std::map<double, std::vector<double>> dflfErr, dfbbErr, ndlfErr;
   std::map<double, std::vector<double>> affectedShare;
 
@@ -69,7 +83,16 @@ int main() {
     const auto opt = bench::benchOptions(cfg, base.numVertices());
 
     Table table({"batch_frac", "StaticBB", "NDBB", "DFBB", "StaticLF", "NDLF",
-                 "DFLF", "DFLF_wl", "DFLF_push", "DFLF_affected", "DFLF_err"});
+                 "DFLF", "DFLF_wl", "DFLF_push", "MC_repair", "DFLF_affected",
+                 "DFLF_err"});
+
+    // MC walk-repair options: R=8, stride 32 keeps the walk store at
+    // ~1 KB/vertex so the 12-graph sweep stays RAM-bounded; accuracy at
+    // this R is the statistical mcL1ErrorBound(alpha, 8), reported in
+    // table (c) as MC_l1_err.
+    PageRankOptions mcOpt = opt;
+    mcOpt.mcWalksPerVertex = 8;
+    mcOpt.mcMaxWalkLength = 32;
 
     // Static runs do not depend on the batch: time them once per graph.
     const auto currForStatic = base.toCsr();
@@ -114,6 +137,21 @@ int main() {
       dflfPushMs[fraction].push_back(pushMs);
       dflfPushErr[fraction].push_back(linfNorm(pushResult.ranks, ref));
 
+      // Monte Carlo steady-state walk repair (PR 9 series): prime the
+      // store untimed (build on prev + absorb the batch once), then time
+      // pure repair steps — each a new epoch re-walking the segments
+      // through the batch's changed vertices, the cost the resident
+      // service pays per ingested batch.
+      detail::LfEngineState mcState(scenario.curr.numVertices());
+      detail::lfMonteCarloStep(mcState, scenario.prev, scenario.curr,
+                               scenario.batch, mcOpt, nullptr, "fig7");
+      const double mcMs = bench::timedMs(cfg, [&] {
+        detail::lfMonteCarloStep(mcState, scenario.prev, scenario.curr,
+                                 scenario.batch, mcOpt, nullptr, "fig7");
+      });
+      mcRepairMs[fraction].push_back(mcMs);
+      mcL1Err[fraction].push_back(l1Norm(mcState.ranks.toVector(), ref));
+
       for (Approach a : kApproaches) runtimes[a][fraction].push_back(ms[a]);
       dflfErr[fraction].push_back(linfNorm(dfLfResult.ranks, ref));
       dfbbErr[fraction].push_back(linfNorm(dfBbResult.ranks, ref));
@@ -126,7 +164,7 @@ int main() {
                     bench::fmtMs(ms[Approach::NDBB]), bench::fmtMs(ms[Approach::DFBB]),
                     bench::fmtMs(ms[Approach::StaticLF]),
                     bench::fmtMs(ms[Approach::NDLF]), bench::fmtMs(ms[Approach::DFLF]),
-                    bench::fmtMs(wlMs), bench::fmtMs(pushMs),
+                    bench::fmtMs(wlMs), bench::fmtMs(pushMs), bench::fmtMs(mcMs),
                     Table::count(dfLfResult.affectedVertices),
                     Table::sci(linfNorm(dfLfResult.ranks, ref), 1)});
       if (fraction == kFractions[0]) {
@@ -141,13 +179,15 @@ int main() {
 
   std::cout << "=== (b) geometric-mean runtime across graphs ===\n";
   Table meanTable({"batch_frac", "StaticBB", "NDBB", "DFBB", "StaticLF", "NDLF",
-                   "DFLF", "DFLF_wl", "DFLF_push", "DFLF/StaticLF", "DFLF/NDLF",
-                   "DFLF_wl/DFLF", "push/best_pull", "affected_share"});
+                   "DFLF", "DFLF_wl", "DFLF_push", "MC_repair", "DFLF/StaticLF",
+                   "DFLF/NDLF", "DFLF_wl/DFLF", "push/best_pull",
+                   "affected_share"});
   for (double fraction : kFractions) {
     std::map<Approach, double> gm;
     for (Approach a : kApproaches) gm[a] = geomean(runtimes[a][fraction]);
     const double gmWl = geomean(dflfWlMs[fraction]);
     const double gmPush = geomean(dflfPushMs[fraction]);
+    const double gmMc = geomean(mcRepairMs[fraction]);
     // "push/best_pull" > 1 means delta-push beat BOTH pull schedulers at
     // this fraction — the band-ownership readout behind BENCH_pr8.json.
     const double bestPull = std::min(gm[Approach::DFLF], gmWl);
@@ -156,7 +196,7 @@ int main() {
          bench::fmtMs(gm[Approach::NDBB]), bench::fmtMs(gm[Approach::DFBB]),
          bench::fmtMs(gm[Approach::StaticLF]), bench::fmtMs(gm[Approach::NDLF]),
          bench::fmtMs(gm[Approach::DFLF]), bench::fmtMs(gmWl),
-         bench::fmtMs(gmPush),
+         bench::fmtMs(gmPush), bench::fmtMs(gmMc),
          Table::num(gm[Approach::StaticLF] / gm[Approach::DFLF], 2) + "x",
          Table::num(gm[Approach::NDLF] / gm[Approach::DFLF], 2) + "x",
          Table::num(gm[Approach::DFLF] / gmWl, 2) + "x",
@@ -167,12 +207,13 @@ int main() {
 
   std::cout << "\n=== (c) mean L-inf error vs reference ===\n";
   Table err({"batch_frac", "DFBB_err", "DFLF_err", "DFLF_wl_err",
-             "DFLF_push_err", "NDLF_err", "tolerance_note"});
+             "DFLF_push_err", "MC_l1_err", "NDLF_err", "tolerance_note"});
   for (double fraction : kFractions) {
     err.addRow({Table::sci(fraction, 0), Table::sci(mean(dfbbErr[fraction]), 1),
                 Table::sci(mean(dflfErr[fraction]), 1),
                 Table::sci(mean(dflfWlErr[fraction]), 1),
                 Table::sci(mean(dflfPushErr[fraction]), 1),
+                Table::sci(mean(mcL1Err[fraction]), 1),
                 Table::sci(mean(ndlfErr[fraction]), 1),
                 "tau scales as 1e-3/|V| (see DESIGN.md)"});
   }

@@ -150,7 +150,9 @@ CsrGraph mapCsrFile(const std::string& path) {
     fail(path, "header size mismatch");
   if (h.numVertices > std::numeric_limits<VertexId>::max() - 1)
     fail(path, "vertex count " + std::to_string(h.numVertices) +
-                   " exceeds the 32-bit vertex id space");
+                   " exceeds the 32-bit vertex id space (supported maximum " +
+                   std::to_string(std::numeric_limits<VertexId>::max() - 1) +
+                   ")");
 
   const Layout l = layoutFor(h.numVertices, h.numEdges);
   if (h.payloadBytes != l.payloadBytes)

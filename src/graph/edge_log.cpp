@@ -34,7 +34,9 @@ EdgeLogHeader readAndCheckHeader(std::ifstream& is, const std::string& path) {
   if (h.headerBytes != sizeof(EdgeLogHeader)) fail(path, "header size mismatch");
   if (h.numVertices > std::numeric_limits<VertexId>::max() - 1)
     fail(path, "vertex count " + std::to_string(h.numVertices) +
-                   " exceeds the 32-bit vertex id space");
+                   " exceeds the 32-bit vertex id space (supported maximum " +
+                   std::to_string(std::numeric_limits<VertexId>::max() - 1) +
+                   ")");
   if (h.payloadBytes != h.numEdges * sizeof(TemporalEdge))
     fail(path, "payload size field disagrees with the record count");
   return h;

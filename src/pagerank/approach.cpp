@@ -1,5 +1,5 @@
 // Uniform dispatch over the eight engines (plus the opt-in DeltaPush
-// family), used by the experiment harness and the benches.
+// and MonteCarlo families), used by the experiment harness and benches.
 #include "pagerank/pagerank.hpp"
 
 namespace lfpr {
@@ -19,6 +19,8 @@ PageRankResult runApproach(Approach approach, const CsrGraph& prev,
     case Approach::DFLF: return dfLF(prev, curr, batch, prevRanks, opt, fault);
     case Approach::DeltaPush:
       return deltaPush(prev, curr, batch, prevRanks, opt, fault);
+    case Approach::MonteCarlo:
+      return monteCarlo(prev, curr, batch, opt, fault);  // prevRanks unused
   }
   throw std::invalid_argument("runApproach: unknown approach");
 }

@@ -72,6 +72,7 @@ PageRankResult lfFullStep(LfEngineState& state, const CsrGraph& curr,
   // converged"; every vertex starts unconverged for Static/ND.
   state.notConverged.fill(1);
   state.residualValid = false;  // ranks will move outside residual tracking
+  state.monteCarloValid = false;  // ...and outside walk maintenance
   RoundCursorSet rounds(n, resolved.chunkSize,
                         static_cast<std::size_t>(resolved.maxIterations));
   std::atomic<bool> allConverged{false};
@@ -159,6 +160,7 @@ PageRankResult lfDynamicStep(LfEngineState& state, const CsrGraph& prev,
   state.notConverged.fill(0);
   state.checked.fill(0);
   state.residualValid = false;  // ranks will move outside residual tracking
+  state.monteCarloValid = false;  // ...and outside walk maintenance
 
   const bool useWorklist = resolved.scheduling == SchedulingMode::Worklist;
   // Worklist solves detect convergence on the per-vertex flags; the
@@ -272,6 +274,7 @@ PageRankResult lfDeltaPushStep(LfEngineState& state, const CsrGraph& prev,
   AtomicF64Vector& residual = state.ensureResidual();
   if (!state.residualValid) residual.fill(0.0);
   state.residualValid = false;  // re-validated below only on convergence
+  state.monteCarloValid = false;  // ranks move outside walk maintenance
 
   const std::size_t numSeedChunks =
       (n + resolved.chunkSize - 1) / resolved.chunkSize;

@@ -33,6 +33,7 @@
 
 #include "graph/csr.hpp"
 #include "pagerank/atomics.hpp"
+#include "pagerank/detail/monte_carlo.hpp"
 #include "pagerank/options.hpp"
 #include "sched/fault.hpp"
 
@@ -76,6 +77,15 @@ struct LfEngineState {
   /// zero-fills.
   std::unique_ptr<AtomicF64Vector> residual;
   bool residualValid = false;
+
+  /// Monte Carlo walk store (lfMonteCarloStep only; null until the first
+  /// MC step). Persists across MC steps the same way the residuals do:
+  /// a completed MC step leaves the walks consistent with `curr` and
+  /// flips monteCarloValid on, so the next MC step repairs instead of
+  /// rebuilding. Any exact-engine step moves ranks without maintaining
+  /// walks and flips it off; the next MC step rebuilds from scratch.
+  std::unique_ptr<MonteCarloState> monteCarlo;
+  bool monteCarloValid = false;
 };
 
 /// One full solve step: every vertex starts unconverged, state.ranks is
@@ -107,5 +117,20 @@ PageRankResult lfDeltaPushStep(LfEngineState& state, const CsrGraph& prev,
                                const CsrGraph& curr, const BatchUpdate& batch,
                                const PageRankOptions& opt, FaultInjector* fault,
                                const char* name);
+
+/// One Monte Carlo walk-store step (detail/monte_carlo.cpp). If the
+/// store is missing/invalid or its config (mcWalksPerVertex,
+/// mcMaxWalkLength, mcSeed, alpha) changed, the walks are (re)built on
+/// `prev` first; then a non-empty `batch` is repaired into the store
+/// against the prev/curr snapshot pair (walk claims via the DF marks +
+/// work rings). Ranks land in state.ranks as everywhere else;
+/// result.monteCarlo is set and result.toleranceBound carries the
+/// *statistical* mcL1ErrorBound, not a §4.5 certificate. With an empty
+/// batch the caller asserts prev and curr are the same snapshot.
+/// Validation errors are labelled with `name`.
+PageRankResult lfMonteCarloStep(LfEngineState& state, const CsrGraph& prev,
+                                const CsrGraph& curr, const BatchUpdate& batch,
+                                const PageRankOptions& opt, FaultInjector* fault,
+                                const char* name);
 
 }  // namespace lfpr::detail

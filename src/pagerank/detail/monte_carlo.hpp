@@ -1,0 +1,179 @@
+// Incremental Monte Carlo PageRank walk store (Bahmani et al., "Fast
+// Incremental and Personalized PageRank", PAPERS.md).
+//
+// The engine maintains R random-walk segments rooted at every vertex.
+// Each walk starts at its root and, at every step, continues to a
+// uniform out-neighbour with probability alpha and stops otherwise —
+// so walk lengths are geometric with mean 1 / (1 - alpha). Counting
+// visits over all walks gives global ranks,
+//
+//     rank(v) ~= (1 - alpha) * visits(v) / (n * R),
+//
+// and counting only the walks rooted at r gives personalized scores
+// (ppr.hpp). The store is indexed two ways:
+//
+//   * by root — walk w of root r is walk id r*R + w, its vertices in a
+//     fixed-stride slice of `verts` (lengths in `len`);
+//   * by visited vertex — a CSR-shaped visit index (`indexOffsets` /
+//     `indexWalks`) mapping each vertex to the walk ids that step on
+//     it, plus per-vertex delta chains for entries added by repairs
+//     between (deterministically triggered) compactions.
+//
+// Batch ingest is the Bahmani update rule, driven by the repo's DF
+// batch-mark + worklist machinery: an edge update (u, v) can only
+// change the distribution of a walk *after* a visit to u (walks pick
+// uniform out-neighbours, so only u's out-distribution changed), so
+// the affected walks are exactly the visit-index entries of the batch
+// edges' source vertices. Each such walk is claimed lock-free (one
+// fetchOr per walk id — claimed exactly once no matter how many
+// changed vertices it visits), queued on the PR 5 work rings, and
+// repaired: truncate at its first affected visit, then re-walk from
+// there on the new snapshot. Expected work per edge update is O(1)
+// walks (each vertex is visited R * pi(v) * n / (1-alpha)... in
+// expectation a constant number of stored walk positions per root-R
+// budget), which is what makes the engine the sub-1e-5 batch-fraction
+// specialist (bench_fig7, BM_SmallBatchWalkRepair).
+//
+// Determinism: every step of every walk draws from a counter-based
+// stream keyed by (seed, walkId, epoch) — SplitMix64 evaluated at
+// explicit counters, no shared RNG state — and visit counts are ±1.0
+// fetch-adds on exact small integers, so the walk store and the ranks
+// are bit-identical for the same (seed, batch schedule) regardless of
+// thread interleaving, across runs and across service restarts
+// (fingerprint() pins this in tests).
+//
+// The estimates are STATISTICAL: result.toleranceBound carries
+// mcL1ErrorBound (error.hpp) — an expected-error scale with a safety
+// factor — never the worst-case §4.5 certificate of the exact engines.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "pagerank/atomics.hpp"
+#include "pagerank/ppr.hpp"
+#include "sched/work_ring.hpp"
+#include "util/rng.hpp"
+
+namespace lfpr::detail {
+
+/// One SplitMix64 draw at an explicit state value — the mixing function
+/// of the counter-based walk RNG.
+inline std::uint64_t mcMix(std::uint64_t x) noexcept {
+  SplitMix64 sm(x);
+  return sm();
+}
+
+/// Base of the per-(walk, epoch) draw stream. Distinct walks map to
+/// distinct inner mixes (x -> mix(x + c*gamma) is injective per c), and
+/// the epoch offsets the outer stream, so streams never collide in
+/// practice and every draw is reproducible from (seed, walk, epoch)
+/// alone.
+inline std::uint64_t mcStreamBase(std::uint64_t seed, std::uint32_t walk,
+                                  std::uint64_t epoch) noexcept {
+  constexpr std::uint64_t kGamma = 0x9e3779b97f4a7c15ULL;
+  return mcMix(mcMix(seed + (static_cast<std::uint64_t>(walk) + 1) * kGamma) +
+               (epoch + 1) * kGamma);
+}
+
+/// Draw `counter` of a stream: position i of a walk uses counters 2i
+/// (continue/stop coin) and 2i+1 (neighbour pick), so a repair that
+/// regenerates from position p replays exactly the draws a fresh walk
+/// of the same epoch would make from p.
+inline std::uint64_t mcDraw(std::uint64_t base, std::uint64_t counter) noexcept {
+  constexpr std::uint64_t kGamma = 0x9e3779b97f4a7c15ULL;
+  return mcMix(base + counter * kGamma);
+}
+
+/// Shape of a walk store. A store whose config differs from the options
+/// of the incoming step is discarded and rebuilt.
+struct McConfig {
+  int walksPerVertex = 16;
+  int maxWalkLength = 32;
+  std::uint64_t seed = 0;
+  double alpha = 0.85;
+
+  friend bool operator==(const McConfig&, const McConfig&) = default;
+};
+
+/// The walk store. Owned by LfEngineState (like the delta-push residual
+/// array), valid only while `monteCarloValid` — any exact-engine step
+/// moves ranks without maintaining walks, so the next MC step rebuilds.
+struct MonteCarloState {
+  MonteCarloState(std::size_t numVertices, const McConfig& config);
+
+  McConfig cfg;
+  std::size_t n = 0;
+  /// Storage stride == cfg.maxWalkLength; also the hard walk-length cap.
+  std::size_t stride = 0;
+  /// n * R. Walk ids are 32-bit (they ride the VertexId work rings);
+  /// the constructor rejects n * R beyond that — same 32-bit ceiling
+  /// the snapshot loaders enforce (see ROADMAP's 64-bit item).
+  std::uint32_t numWalks = 0;
+  /// Batches repaired into the store so far; names the RNG streams.
+  std::uint64_t epoch = 0;
+
+  /// Walk w occupies verts[w*stride .. w*stride + len[w]); len >= 1
+  /// always (position 0 is the root). 0 is the transient "not yet
+  /// generated" marker inside a build.
+  std::vector<VertexId> verts;
+  std::vector<std::uint16_t> len;
+
+  /// visits[v]: total stored walk positions at v. ±1.0 fetch-adds on
+  /// exact integer doubles — order-independent, hence deterministic.
+  AtomicF64Vector visits;
+
+  /// Visit index, base CSR part: walk ids visiting v at
+  /// indexWalks[indexOffsets[v] .. indexOffsets[v+1]) as of the last
+  /// compaction. Duplicates allowed (multiple visits); entries may be
+  /// stale after a repair moved the walk away — stale claims are
+  /// detected (no affected position on the walk) and skipped.
+  std::vector<std::uint64_t> indexOffsets;
+  std::vector<std::uint32_t> indexWalks;
+
+  /// Visit index, delta part: per-vertex chains of entries appended by
+  /// repairs since the last compaction. deltaHead[v] -> index into
+  /// deltaWalk/deltaNext, kNoDelta terminates. Compaction (rebuilding
+  /// the base CSR from walk contents and clearing the chains) triggers
+  /// on a deterministic size threshold, so store layout stays a pure
+  /// function of the batch schedule.
+  static constexpr std::uint32_t kNoDelta = 0xffffffffu;
+  std::vector<std::uint32_t> deltaHead;
+  std::vector<std::uint32_t> deltaWalk;
+  std::vector<std::uint32_t> deltaNext;
+
+  /// Per-walk repair claim flags, all-zero between steps. 0 = unclaimed,
+  /// 1 = claimed (queued), 2 = repaired — the sequential post-pass
+  /// re-walks any claim still at 1 (crash or ring refusal), so each
+  /// claimed walk is repaired exactly once even under fault injection.
+  AtomicU8Vector claimed;
+
+  /// Cached repair scheduler over the walk-id space. A cleanly drained
+  /// WorklistScheduler is self-resetting (pops, steals, and refused
+  /// pushes all clear the dedup flags), so clean repair steps reuse one
+  /// instance instead of paying an O(numWalks) allocation + zeroing per
+  /// batch — the fixed cost that would otherwise dominate small-batch
+  /// repairs. Null whenever the last step may have left rings dirty
+  /// (fault-armed steps use a private instance; a cooperative stop
+  /// mid-repair drops the cache). Rebuilt on thread-count changes.
+  std::unique_ptr<WorklistScheduler> repairScheduler;
+
+  [[nodiscard]] std::uint32_t walksPerRoot() const noexcept {
+    return static_cast<std::uint32_t>(cfg.walksPerVertex);
+  }
+  [[nodiscard]] VertexId rootOf(std::uint32_t walk) const noexcept {
+    return static_cast<VertexId>(walk / walksPerRoot());
+  }
+
+  /// FNV-1a over config, epoch, and the live walk contents — the
+  /// determinism contract: equal fingerprints <=> bit-identical stores.
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept;
+};
+
+/// Flatten the walk store into the immutable root-major PprIndex served
+/// through SnapshotBox. Sequential; called at publish time.
+[[nodiscard]] PprIndex buildPprIndex(const MonteCarloState& st);
+
+}  // namespace lfpr::detail

@@ -3,6 +3,8 @@
 // (Section 5.1.5).
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <span>
 
 namespace lfpr {
@@ -34,6 +36,35 @@ inline double syncToleranceBound(double tolerance, double alpha) noexcept {
 /// jitter (rollback stores may each inject up to one extra tolerance).
 inline double asyncToleranceBound(double tolerance, double alpha) noexcept {
   return tolerance / (1.0 - alpha);
+}
+
+/// Monte-Carlo L1 error scale for the walk engine's *global* ranks
+/// (Approach::MonteCarlo, R walks per vertex). Each vertex estimate
+/// averages R independent geometric-length walks per root; summing the
+/// per-vertex standard deviations over all vertices and applying
+/// Cauchy-Schwarz with the walk revisit factor (1 + alpha) / (1 - alpha)
+/// gives E[ ||r - r*||_1 ] <~ sqrt((1 + alpha) / R), independent of n.
+/// The factor 3 is empirical headroom for revisit correlation on the
+/// self-looped benchmark graphs and stride truncation.
+///
+/// Unlike syncToleranceBound / asyncToleranceBound (worst-case Section
+/// 4.5 certificates), this is a STATISTICAL bound: the expected error
+/// scale with a safety factor, not a guarantee on any single run.
+inline double mcL1ErrorBound(double alpha, int walksPerVertex) noexcept {
+  return 3.0 * std::sqrt((1.0 + alpha) / static_cast<double>(walksPerVertex));
+}
+
+/// Monte-Carlo error scale for one *personalized* score ppr_r(v) =
+/// (1 - alpha) * visits / R. The visit count is a sum of per-walk visit
+/// counts with per-walk variance <= E[count] * (1 + alpha) / (1 - alpha),
+/// so sd(score) <= (1 - alpha) * sqrt(visits * (1+alpha)/(1-alpha)) / R
+/// = sqrt((1-alpha)(1+alpha) * visits) / R; the factor 2 is ~2 sigma.
+/// Statistical, like mcL1ErrorBound — not a worst-case certificate.
+inline double mcPprErrorBound(double alpha, int walksPerVertex,
+                              double visits) noexcept {
+  return 2.0 *
+         std::sqrt((1.0 - alpha) * (1.0 + alpha) * std::max(visits, 1.0)) /
+         static_cast<double>(walksPerVertex);
 }
 
 }  // namespace lfpr

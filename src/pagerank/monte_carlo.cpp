@@ -1,0 +1,54 @@
+// Incremental Monte Carlo PageRank (opt-in; not one of the paper's
+// eight): R random-walk segments per root, repaired per batch — see
+// detail/monte_carlo.cpp for the protocol. This file is the one-shot
+// wrapper plus the PprIndex query implementation; long-lived callers
+// (service/rank_service.cpp) keep the walk store alive across steps
+// through LfEngineState instead.
+#include "pagerank/detail/engine_step.hpp"
+#include "pagerank/pagerank.hpp"
+#include "pagerank/ppr.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace lfpr {
+
+PageRankResult monteCarlo(const CsrGraph& prev, const CsrGraph& curr,
+                          const BatchUpdate& batch, const PageRankOptions& opt,
+                          FaultInjector* fault) {
+  // Fresh store built on prev, one repair step to curr, ranks copied
+  // out. No prevRanks parameter: the ranks are derived from the walks,
+  // never seeded.
+  detail::LfEngineState state(curr.numVertices());
+  PageRankResult result =
+      detail::lfMonteCarloStep(state, prev, curr, batch, opt, fault, "monteCarlo");
+  result.ranks = state.ranks.toVector();
+  return result;
+}
+
+std::vector<PprEntry> PprIndex::topK(VertexId root, std::size_t k) const {
+  if (k == 0 || static_cast<std::size_t>(root) + 1 >= offsets.size()) return {};
+  std::vector<VertexId> visited(visitLog.begin() + offsets[root],
+                                visitLog.begin() + offsets[root + 1]);
+  std::sort(visited.begin(), visited.end());
+
+  std::vector<PprEntry> entries;
+  const double scale = (1.0 - alpha) / static_cast<double>(walksPerVertex);
+  for (std::size_t i = 0; i < visited.size();) {
+    std::size_t j = i;
+    while (j < visited.size() && visited[j] == visited[i]) ++j;
+    const double count = static_cast<double>(j - i);
+    entries.push_back({visited[i], scale * count,
+                       mcPprErrorBound(alpha, walksPerVertex, count)});
+    i = j;
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const PprEntry& a, const PprEntry& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.vertex < b.vertex;
+            });
+  if (entries.size() > k) entries.resize(k);
+  return entries;
+}
+
+}  // namespace lfpr

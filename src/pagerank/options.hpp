@@ -78,6 +78,20 @@ struct PageRankOptions {
   /// so the converged bound becomes asyncToleranceBound(tolerance +
   /// pushRelativeTolerance, alpha)).
   double pushRelativeTolerance = 0.0;
+  /// MonteCarlo only: R — random-walk segments rooted at every vertex.
+  /// Accuracy scales as 1/sqrt(R) (error.hpp mcL1ErrorBound), memory and
+  /// build time as R. See the README R/accuracy table.
+  int mcWalksPerVertex = 16;
+  /// MonteCarlo only: hard cap on a walk segment's length (storage
+  /// stride). A geometric(1 - alpha) walk exceeds length L with
+  /// probability alpha^(L-1) — ~0.66% at the default 32 with alpha =
+  /// 0.85 — and truncated walks bias long-range mass slightly low; raise
+  /// the cap (<= 65535) when alpha is pushed toward 1.
+  int mcMaxWalkLength = 32;
+  /// MonteCarlo only: base seed of the counter-based per-(walk, epoch)
+  /// RNG streams. Same seed + same batch schedule => bit-identical walk
+  /// store, across runs and across service restarts.
+  std::uint64_t mcSeed = 0x5eedULL;
   /// BB engines: how long a thread may wait at a barrier before the run
   /// is declared dead (crash-stop deadlock detection).
   std::chrono::milliseconds barrierTimeout{60'000};
@@ -151,6 +165,11 @@ struct PageRankResult {
   std::uint64_t rankUpdates = 0;
   /// Vertices marked affected (DF/DT engines).
   std::uint64_t affectedVertices = 0;
+  /// The ranks are Monte-Carlo estimates (Approach::MonteCarlo):
+  /// `toleranceBound` is then the *statistical* L1 scale
+  /// mcL1ErrorBound(alpha, R) — expected error with a safety factor —
+  /// NOT the worst-case §4.5 certificate the exact engines carry.
+  bool monteCarlo = false;
   /// See ProtocolStats — populated only in LFPR_STATS builds.
   ProtocolStats protocolStats;
 };
@@ -168,6 +187,11 @@ enum class Approach : int {
   /// forward-push over per-vertex residual accumulators, DF marking
   /// semantics. See pagerank.hpp deltaPush().
   DeltaPush,
+  /// Opt-in approximate engine (not one of the paper's eight): Bahmani-
+  /// style incremental Monte Carlo — R random-walk segments per root,
+  /// repaired per batch via the DF marks + worklist claim machinery;
+  /// also serves personalized PageRank. See pagerank.hpp monteCarlo().
+  MonteCarlo,
 };
 
 inline const char* approachName(Approach a) noexcept {
@@ -181,13 +205,15 @@ inline const char* approachName(Approach a) noexcept {
     case Approach::DFBB: return "DFBB";
     case Approach::DFLF: return "DFLF";
     case Approach::DeltaPush: return "DeltaPush";
+    case Approach::MonteCarlo: return "MonteCarlo";
   }
   return "?";
 }
 
 inline bool isLockFree(Approach a) noexcept {
   return a == Approach::StaticLF || a == Approach::NDLF || a == Approach::DTLF ||
-         a == Approach::DFLF || a == Approach::DeltaPush;
+         a == Approach::DFLF || a == Approach::DeltaPush ||
+         a == Approach::MonteCarlo;
 }
 
 inline bool isDynamicApproach(Approach a) noexcept {
@@ -195,9 +221,10 @@ inline bool isDynamicApproach(Approach a) noexcept {
 }
 
 /// The paper's eight engines — the ablation sweeps iterate exactly these.
-/// DeltaPush is dispatchable through runApproach but deliberately not
-/// listed: it is this repo's extension, benched against DFLF explicitly
-/// (bench_fig7_batch_sweep) rather than folded into every paper table.
+/// DeltaPush and MonteCarlo are dispatchable through runApproach but
+/// deliberately not listed: they are this repo's extensions, benched
+/// against DFLF explicitly (bench_fig7_batch_sweep) rather than folded
+/// into every paper table.
 constexpr Approach kAllApproaches[] = {
     Approach::StaticBB, Approach::StaticLF, Approach::NDBB, Approach::NDLF,
     Approach::DTBB,     Approach::DTLF,     Approach::DFBB, Approach::DFLF,

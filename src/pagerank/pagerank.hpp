@@ -78,9 +78,24 @@ PageRankResult deltaPush(const CsrGraph& prev, const CsrGraph& curr,
                          const PageRankOptions& opt = {},
                          FaultInjector* fault = nullptr);
 
-/// Uniform dispatch over all eight engines plus DeltaPush (harness
-/// convenience). Static engines ignore prev/batch/prevRanks; ND engines
-/// ignore prev/batch.
+/// Incremental Monte Carlo PageRank (opt-in; not one of the paper's
+/// eight): builds R random-walk segments per root on `prev`, repairs
+/// exactly the walks through `batch`'s changed vertices, and derives
+/// ranks from visit counts — approximate (result.monteCarlo is set and
+/// toleranceBound is the *statistical* mcL1ErrorBound, no §4.5
+/// certificate), but batch work is O(walks through changed vertices)
+/// and the same store answers personalized queries (ppr.hpp; served
+/// live via RankService::pprTopK). No prevRanks parameter: ranks come
+/// from the walks, never from a seed. See opt.mcWalksPerVertex /
+/// mcMaxWalkLength / mcSeed.
+PageRankResult monteCarlo(const CsrGraph& prev, const CsrGraph& curr,
+                          const BatchUpdate& batch,
+                          const PageRankOptions& opt = {},
+                          FaultInjector* fault = nullptr);
+
+/// Uniform dispatch over all eight engines plus DeltaPush and MonteCarlo
+/// (harness convenience). Static engines ignore prev/batch/prevRanks;
+/// ND engines ignore prev/batch; MonteCarlo ignores prevRanks.
 PageRankResult runApproach(Approach approach, const CsrGraph& prev,
                            const CsrGraph& curr, const BatchUpdate& batch,
                            std::span<const double> prevRanks,

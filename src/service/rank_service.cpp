@@ -230,6 +230,12 @@ std::vector<std::pair<VertexId, double>> RankService::topK(std::size_t k) const 
   return view->topK(k);
 }
 
+std::vector<PprEntry> RankService::pprTopK(VertexId root, std::size_t k) const {
+  const SnapshotView view = box_.acquire();
+  if (view->ppr == nullptr) return {};
+  return view->ppr->topK(root, k);
+}
+
 Staleness RankService::staleness() const {
   const SnapshotView view = box_.acquire();
   Staleness s;
@@ -251,6 +257,7 @@ ServiceStats RankService::stats() const {
   s.edgesIngested = edgesIngested_.load(std::memory_order_relaxed);
   s.solves = solves_.load(std::memory_order_relaxed);
   s.deltaPushSteps = deltaPushSteps_.load(std::memory_order_relaxed);
+  s.monteCarloSteps = monteCarloSteps_.load(std::memory_order_relaxed);
   s.recoveries = recoveries_.load(std::memory_order_relaxed);
   s.failedSteps = failedSteps_.load(std::memory_order_relaxed);
   s.reclaimedSnapshots = box_.reclaimedCount();
@@ -332,10 +339,20 @@ void RankService::publishConverged(const PageRankResult& result) {
   snap->ranks = state_.ranks.toVector();
   snap->converged = true;
   snap->iterations = result.iterations;
-  snap->toleranceBound = result.toleranceBound;  // §4.5 certificate
+  snap->toleranceBound = result.toleranceBound;  // §4.5 or MC-statistical
   snap->batchesApplied = batchesApplied_.load(std::memory_order_relaxed);
   snap->edgesIngested = edgesIngested_.load(std::memory_order_relaxed);
   snap->publishedAt = std::chrono::steady_clock::now();
+  if (result.monteCarlo && state_.monteCarloValid &&
+      state_.monteCarlo != nullptr) {
+    // MC epochs also publish the personalized index + the determinism
+    // fingerprint. Built here, sequentially, from the quiescent store —
+    // readers only ever see the immutable flattened copy.
+    snap->monteCarlo = true;
+    snap->mcFingerprint = state_.monteCarlo->fingerprint();
+    snap->ppr = std::make_shared<const PprIndex>(
+        detail::buildPprIndex(*state_.monteCarlo));
+  }
   if (opt_.onPublish) opt_.onPublish(*snap);
   const std::uint64_t epoch = snap->epoch;
   lastPublishedBound_ = snap->toleranceBound;
@@ -357,9 +374,14 @@ void RankService::publishConverged(const PageRankResult& result) {
   idleCv_.notify_all();
 }
 
+bool RankService::useMonteCarlo() const noexcept {
+  return opt_.stepEngine == ServiceOptions::StepEngine::MonteCarlo;
+}
+
 bool RankService::useDeltaPush(const BatchUpdate& merged) const {
   switch (opt_.stepEngine) {
     case ServiceOptions::StepEngine::Pull: return false;
+    case ServiceOptions::StepEngine::MonteCarlo: return false;
     case ServiceOptions::StepEngine::DeltaPush: return true;
     case ServiceOptions::StepEngine::Auto: {
       // Route by the merged batch's edge fraction: the push engine owns
@@ -398,10 +420,25 @@ bool RankService::stepOnce(std::vector<Pending>&& group) {
   PageRankResult result;
   {
     const auto fault = nextFault();
-    if (needFullResolve_) {
+    if (needFullResolve_ && useMonteCarlo()) {
+      // MC full resolve = rebuild the walk store on the current graph
+      // (any folded batches are already in curr_). Invalidate first so
+      // the step cannot mistake prev-consistent walks for current ones.
+      state_.monteCarloValid = false;
+      monteCarloSteps_.fetch_add(1, std::memory_order_relaxed);
+      result = detail::lfMonteCarloStep(state_, curr_, curr_, BatchUpdate{},
+                                        solveOpt, fault.get(), "service");
+    } else if (needFullResolve_) {
       // Initial solve, or a previous step exhausted recovery: ND
       // semantics — every vertex unconverged, current ranks as seed.
       result = detail::lfFullStep(state_, curr_, solveOpt, fault.get());
+    } else if (useMonteCarlo()) {
+      // Walk repair against the prev/curr pair. If an exact recovery
+      // re-solve invalidated the store since the last MC step, the step
+      // rebuilds on prev first, then repairs — same published contract.
+      monteCarloSteps_.fetch_add(1, std::memory_order_relaxed);
+      result = detail::lfMonteCarloStep(state_, prev, curr_, merged, solveOpt,
+                                        fault.get(), "service");
     } else if (useDeltaPush(merged)) {
       deltaPushSteps_.fetch_add(1, std::memory_order_relaxed);
       result = detail::lfDeltaPushStep(state_, prev, curr_, merged, solveOpt,

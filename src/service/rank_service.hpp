@@ -110,7 +110,13 @@ struct ServiceOptions {
   ///              kDeltaPushMaxFraction] — the mid-density band where
   ///              the push engine beats both pull schedulers (see
   ///              BENCH_pr8.json) — Pull outside it.
-  enum class StepEngine { Pull, DeltaPush, Auto };
+  ///   MonteCarlo lfMonteCarloStep (PR 9): resident random-walk store,
+  ///              approximate ranks + personalized PPR (pprTopK). Runs
+  ///              the *initial* solve too (walk build), and publishes
+  ///              statistical mcL1ErrorBound certificates instead of
+  ///              §4.5 bounds; recovery re-solves still use the exact
+  ///              pull engine.
+  enum class StepEngine { Pull, DeltaPush, Auto, MonteCarlo };
   StepEngine stepEngine = StepEngine::Pull;
 
   /// Auto-routing band bounds: batch edges (deletions + insertions,
@@ -178,6 +184,9 @@ struct ServiceStats {
   /// DeltaPush always; StepEngine::Auto when the merged batch fell in
   /// the mid-density band).
   std::uint64_t deltaPushSteps = 0;
+  /// Steps (initial build + incremental repairs) run by the Monte Carlo
+  /// walk engine (StepEngine::MonteCarlo).
+  std::uint64_t monteCarloSteps = 0;
   std::uint64_t recoveries = 0;
   /// Steps that exhausted recovery and carried a full re-solve forward.
   std::uint64_t failedSteps = 0;
@@ -263,6 +272,15 @@ class RankService {
 
   [[nodiscard]] std::vector<std::pair<VertexId, double>> topK(std::size_t k) const;
 
+  /// Personalized PageRank as seen from `root` (StepEngine::MonteCarlo
+  /// only): top-k visited vertices of the published walk-store epoch,
+  /// each score carrying its statistical mcPprErrorBound. Served through
+  /// the same SnapshotBox path as ranks — wait-free for registered
+  /// readers, consistent with snapshot()->epoch, never blocking ingest.
+  /// Empty when the current snapshot has no PPR index (exact engines, or
+  /// the epoch-0 placeholder).
+  [[nodiscard]] std::vector<PprEntry> pprTopK(VertexId root, std::size_t k) const;
+
   [[nodiscard]] Staleness staleness() const;
 
   [[nodiscard]] ServiceStats stats() const;
@@ -293,6 +311,7 @@ class RankService {
   bool stepOnce(std::vector<Pending>&& group);
   /// Engine routing for one incremental step (ServiceOptions::stepEngine).
   [[nodiscard]] bool useDeltaPush(const BatchUpdate& merged) const;
+  [[nodiscard]] bool useMonteCarlo() const noexcept;
   void publishConverged(const PageRankResult& result);
   void validateBatch(const BatchUpdate& batch) const;
   [[nodiscard]] std::unique_ptr<FaultInjector> nextFault();
@@ -350,6 +369,7 @@ class RankService {
   std::atomic<std::uint64_t> edgesIngested_{0};
   std::atomic<std::uint64_t> solves_{0};
   std::atomic<std::uint64_t> deltaPushSteps_{0};
+  std::atomic<std::uint64_t> monteCarloSteps_{0};
   std::atomic<std::uint64_t> recoveries_{0};
   std::atomic<std::uint64_t> failedSteps_{0};
   std::atomic<bool> degraded_{false};

@@ -18,10 +18,12 @@
 #include <chrono>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "graph/types.hpp"
+#include "pagerank/ppr.hpp"
 
 namespace lfpr {
 
@@ -50,6 +52,22 @@ struct RankSnapshot {
   /// Cumulative ingest counters at publish (staleness accounting).
   std::uint64_t batchesApplied = 0;
   std::uint64_t edgesIngested = 0;
+
+  /// The ranks are Monte-Carlo estimates (StepEngine::MonteCarlo):
+  /// `toleranceBound` is then the *statistical* L1 scale
+  /// mcL1ErrorBound(alpha, R) — expected error with a safety factor —
+  /// NOT the worst-case §4.5 certificate carried by exact-engine epochs.
+  bool monteCarlo = false;
+
+  /// Walk-store fingerprint at publish (MonteCarlo epochs only; 0
+  /// otherwise). Pins the determinism contract across restarts: same
+  /// (seed, batch schedule) => same fingerprint at the same epoch.
+  std::uint64_t mcFingerprint = 0;
+
+  /// Personalized-PageRank index for this epoch (MonteCarlo epochs
+  /// only; null otherwise). Immutable and shared — pprTopK queries
+  /// answer from here without touching the live walk store.
+  std::shared_ptr<const PprIndex> ppr;
 
   std::chrono::steady_clock::time_point publishedAt{};
 

@@ -209,6 +209,25 @@ TEST_F(CsrFileTest, RejectsHeaderCountTamper) {
   EXPECT_THROW(mapCsrFile(path("g.csr")), CsrFileError);
 }
 
+TEST_F(CsrFileTest, OversizedVertexCountNamesCountAndLimit) {
+  // Regression: both loaders' >32-bit vertex-count rejection must name
+  // the offending count AND the supported maximum — a bare "too big"
+  // gave operators nothing to compare against their graph size.
+  const std::uint64_t huge = std::uint64_t{1} << 33;
+  const std::string limit = "4294967294";  // VertexId max - 1
+
+  writeCsrFile(path("g.csr"), sampleGraph());
+  corrupt(path("g.csr"), offsetof(CsrFileHeader, numVertices),
+          {reinterpret_cast<const char*>(&huge), sizeof(huge)});
+  try {
+    mapCsrFile(path("g.csr"));
+    FAIL() << "expected CsrFileError";
+  } catch (const CsrFileError& e) {
+    expectContains(e.what(), std::to_string(huge));
+    expectContains(e.what(), limit);
+  }
+}
+
 TEST_F(CsrFileTest, MissingFileErrorNamesThePath) {
   try {
     mapCsrFile(path("nope.csr"));
@@ -286,6 +305,23 @@ TEST_F(CsrFileTest, EdgeLogReaderStreamsChunksAndSeeks) {
   EXPECT_EQ(chunk[0], whole.edges[500]);
   reader.seek(whole.edges.size());
   EXPECT_EQ(reader.read(chunk), 0u);
+}
+
+TEST_F(CsrFileTest, EdgeLogOversizedVertexCountNamesCountAndLimit) {
+  // Same message-discipline regression as the CSR loader: the edge-log
+  // vertex-count guard must name the count and the supported maximum
+  // (the check runs before the checksum, so the tamper is reachable).
+  writeTemporalEdgeLog(path("s.elog"), sampleStream());
+  const std::uint64_t huge = std::uint64_t{1} << 33;
+  corrupt(path("s.elog"), offsetof(EdgeLogHeader, numVertices),
+          {reinterpret_cast<const char*>(&huge), sizeof(huge)});
+  try {
+    readTemporalEdgeLog(path("s.elog"));
+    FAIL() << "expected EdgeLogError";
+  } catch (const EdgeLogError& e) {
+    expectContains(e.what(), std::to_string(huge));
+    expectContains(e.what(), "4294967294");
+  }
 }
 
 TEST_F(CsrFileTest, EdgeLogRejectsCorruption) {

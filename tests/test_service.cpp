@@ -366,6 +366,109 @@ TEST(Service, AutoRoutesMidBandBatchesToDeltaPush) {
             16.0 * v->toleranceBound);
 }
 
+// ---------------------------------------------------------------------
+// Monte Carlo engine routing (PR 9): approximate resident ranks plus
+// personalized queries served through the snapshot, live under ingest.
+
+TEST(Service, MonteCarloStepEngineTracksOfflineSolve) {
+  const auto initial = makeTestGraph(50);
+  ServiceOptions opt = smallServiceOptions();
+  opt.stepEngine = ServiceOptions::StepEngine::MonteCarlo;
+  opt.solver.mcWalksPerVertex = 64;
+  RankService service(initial, opt);
+
+  auto offline = DynamicDigraph::fromCsr(initial);
+  offline.ensureSelfLoops();
+  Rng rng(51);
+  for (int b = 0; b < 6; ++b) {
+    const auto batch = generateBatch(offline, 150, rng);
+    offline.applyBatch(batch);
+    ASSERT_TRUE(service.submit(batch));
+  }
+  service.waitIdle();
+
+  const SnapshotView v = service.snapshot();
+  ASSERT_TRUE(v);
+  EXPECT_TRUE(v->converged);
+  EXPECT_EQ(v->batchesApplied, 6u);
+  // Every step — the initial build included — went through the walk
+  // engine, and the snapshot is flagged as a statistical estimate.
+  EXPECT_GT(service.stats().monteCarloSteps, 0u);
+  EXPECT_EQ(service.stats().deltaPushSteps, 0u);
+  EXPECT_TRUE(v->monteCarlo);
+  EXPECT_NE(v->mcFingerprint, 0u);
+  EXPECT_EQ(v->toleranceBound,
+            mcL1ErrorBound(opt.solver.alpha, opt.solver.mcWalksPerVertex));
+  // The certificate is an L1 scale here, not the exact engines' L-inf.
+  const auto reference = referenceRanks(offline.toCsr());
+  EXPECT_LT(l1Norm(v->ranks, reference), v->toleranceBound);
+}
+
+TEST(Service, PprTopKServedWhileIngesting) {
+  const auto initial = makeTestGraph(52);
+  ServiceOptions opt = smallServiceOptions();
+  opt.stepEngine = ServiceOptions::StepEngine::MonteCarlo;
+  opt.solver.mcWalksPerVertex = 16;
+  RankService service(initial, opt);
+  service.waitForEpoch(1);
+
+  // Readers hammer personalized queries while the writer streams
+  // batches: every answer must come from a coherent published index —
+  // sorted, root in its own support, per-entry bounds positive.
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> answered{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&service, &done, &answered, t] {
+      std::uint64_t q = 0;
+      while (!done.load(std::memory_order_relaxed)) {
+        const auto root =
+            static_cast<VertexId>((q * 97 + static_cast<std::uint64_t>(t)) %
+                                  kVertices);
+        const auto top = service.pprTopK(root, 8);
+        if (!top.empty()) {
+          bool sawRoot = false;
+          for (std::size_t i = 0; i < top.size(); ++i) {
+            if (i > 0 && top[i - 1].score < top[i].score)
+              ADD_FAILURE() << "unsorted pprTopK under ingest";
+            if (top[i].errorBound <= 0.0)
+              ADD_FAILURE() << "non-positive MC error bound";
+            sawRoot |= top[i].vertex == root;
+          }
+          // Walks start at the root: it always carries >= R visits.
+          if (!sawRoot) ADD_FAILURE() << "root " << root << " missing from "
+                                         "its own personalized top-k";
+          answered.fetch_add(1, std::memory_order_relaxed);
+        }
+        ++q;
+      }
+    });
+  }
+
+  auto offline = DynamicDigraph::fromCsr(initial);
+  offline.ensureSelfLoops();
+  Rng rng(53);
+  for (int b = 0; b < 8; ++b) {
+    const auto batch = generateBatch(offline, 100, rng);
+    offline.applyBatch(batch);
+    ASSERT_TRUE(service.submit(batch));
+  }
+  service.waitIdle();
+  done.store(true);
+  for (auto& r : readers) r.join();
+
+  EXPECT_GT(answered.load(), 0u) << "no personalized query ever answered";
+  const SnapshotView v = service.snapshot();
+  ASSERT_TRUE(v->monteCarlo);
+  ASSERT_NE(v->ppr, nullptr);
+  EXPECT_EQ(v->ppr->numRoots(), static_cast<std::size_t>(kVertices));
+  // Exact-engine services never expose a PPR index.
+  RankService exact(initial, smallServiceOptions());
+  exact.waitForEpoch(1);
+  EXPECT_TRUE(exact.pprTopK(0, 8).empty());
+  EXPECT_EQ(exact.snapshot()->mcFingerprint, 0u);
+}
+
 TEST(Service, DeltaPushCrashedStepRecoversBeforePublish) {
   // A delta-push step that loses every worker must behave exactly like a
   // crashed pull step: nothing published until the service-level full
