@@ -34,10 +34,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstring>
 #include <limits>
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -423,25 +425,288 @@ std::uint64_t MonteCarloState::fingerprint() const noexcept {
   return h;
 }
 
-PprIndex buildPprIndex(const MonteCarloState& st) {
+namespace {
+
+/// Append a POD value / array to a byte blob (host byte order — the
+/// sidecar is read back on the machine that wrote it, like every other
+/// on-disk format here).
+template <typename T>
+void blobPut(std::vector<std::byte>& blob, const T* data, std::size_t count) {
+  const auto* p = reinterpret_cast<const std::byte*>(data);
+  blob.insert(blob.end(), p, p + count * sizeof(T));
+}
+
+template <typename T>
+void blobPutOne(std::vector<std::byte>& blob, T value) {
+  blobPut(blob, &value, 1);
+}
+
+/// Bounds-checked sequential reader over a serialized blob.
+class BlobReader {
+ public:
+  BlobReader(std::span<const std::byte> blob, const char* what)
+      : blob_(blob), what_(what) {}
+
+  template <typename T>
+  void read(T* out, std::size_t count) {
+    const std::size_t bytes = count * sizeof(T);
+    if (blob_.size() - pos_ < bytes)
+      throw std::runtime_error(std::string(what_) + ": blob truncated");
+    std::memcpy(out, blob_.data() + pos_, bytes);
+    pos_ += bytes;
+  }
+
+  template <typename T>
+  [[nodiscard]] T readOne() {
+    T v{};
+    read(&v, 1);
+    return v;
+  }
+
+  /// Move `count` elements into `out` with a single copy — the
+  /// aligned fast path inserts straight from the blob, skipping the
+  /// zero-fill a resize-then-read would pay on multi-megabyte arrays.
+  template <typename T>
+  void readVector(std::vector<T>& out, std::size_t count) {
+    const std::size_t bytes = count * sizeof(T);
+    if (blob_.size() - pos_ < bytes)
+      throw std::runtime_error(std::string(what_) + ": blob truncated");
+    const std::byte* p = blob_.data() + pos_;
+    pos_ += bytes;
+    out.clear();
+    if (reinterpret_cast<std::uintptr_t>(p) % alignof(T) == 0) {
+      const T* first = reinterpret_cast<const T*>(p);
+      out.insert(out.end(), first, first + count);
+    } else {
+      out.resize(count);
+      std::memcpy(out.data(), p, bytes);
+    }
+  }
+
+  void expectExhausted() const {
+    if (pos_ != blob_.size())
+      throw std::runtime_error(std::string(what_) +
+                               ": blob has trailing bytes");
+  }
+
+ private:
+  std::span<const std::byte> blob_;
+  const char* what_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+WalkStoreImage mcSerializeStore(const MonteCarloState& st) {
+  WalkStoreImage img;
+  img.cfg = st.cfg;
+  img.numVertices = st.n;
+  img.numWalks = st.numWalks;
+  img.epoch = st.epoch;
+
+  std::size_t live = 0;
+  for (std::uint32_t w = 0; w < st.numWalks; ++w) live += st.len[w];
+  img.segments.reserve(st.numWalks * sizeof(std::uint16_t) +
+                       live * sizeof(VertexId));
+  blobPut(img.segments, st.len.data(), st.numWalks);
+  for (std::uint32_t w = 0; w < st.numWalks; ++w)
+    blobPut(img.segments,
+            st.verts.data() + static_cast<std::size_t>(w) * st.stride,
+            st.len[w]);
+
+  blobPutOne(img.visitIndex,
+             static_cast<std::uint64_t>(st.indexWalks.size()));
+  blobPut(img.visitIndex, st.indexOffsets.data(), st.n + 1);
+  blobPut(img.visitIndex, st.indexWalks.data(), st.indexWalks.size());
+  blobPutOne(img.visitIndex, static_cast<std::uint64_t>(st.deltaWalk.size()));
+  blobPut(img.visitIndex, st.deltaHead.data(), st.n);
+  blobPut(img.visitIndex, st.deltaWalk.data(), st.deltaWalk.size());
+  blobPut(img.visitIndex, st.deltaNext.data(), st.deltaNext.size());
+  return img;
+}
+
+std::unique_ptr<MonteCarloState> mcDeserializeStore(
+    const WalkStoreImageView& img, int numThreads) {
+  // The constructor re-validates the config and the 32-bit walk-id
+  // ceiling; anything it rejects, a tampered image cannot smuggle in.
+  auto st = std::make_unique<MonteCarloState>(
+      static_cast<std::size_t>(img.numVertices), img.cfg);
+  if (img.numWalks != st->numWalks)
+    throw std::runtime_error(
+        "walk image: numWalks disagrees with n * walksPerVertex");
+  st->epoch = img.epoch;
+
+  // Serial prologue: the len array fixes every walk's byte range, so one
+  // prefix sum turns the packed segment blob into random-access slices
+  // and the copy/validate/recount pass parallelizes over walk ranges.
+  const std::size_t lenBytes = st->numWalks * sizeof(std::uint16_t);
+  if (img.segments.size() < lenBytes)
+    throw std::runtime_error("walk image segments: blob truncated");
+  std::memcpy(st->len.data(), img.segments.data(), lenBytes);
+  std::vector<std::uint64_t> walkStart(st->numWalks + 1, 0);
+  for (std::uint32_t w = 0; w < st->numWalks; ++w) {
+    const std::size_t len = st->len[w];
+    if (len < 1 || len > st->stride)
+      throw std::runtime_error("walk image: walk length out of [1, stride]");
+    walkStart[w + 1] = walkStart[w] + len;
+  }
+  if (img.segments.size() !=
+      lenBytes + walkStart[st->numWalks] * sizeof(VertexId))
+    throw std::runtime_error(
+        "walk image segments: blob size disagrees with the walk lengths");
+  // Byte-offset addressing: the packed vertex region need not be
+  // VertexId-aligned inside an mmapped sidecar, so slices are memcpy'd.
+  const std::byte* packed = img.segments.data() + lenBytes;
+
+  // The pass is memory-bound with no latency to hide, so oversubscribing
+  // a small host only adds spawn and cache churn — cap the requested
+  // budget at the cores actually present.
+  int threads = ThreadTeam::resolveThreads(numThreads);
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw > 0) threads = std::min(threads, static_cast<int>(hw));
+  ThreadTeam team(threads);
+  const std::uint32_t nt = static_cast<std::uint32_t>(team.size());
+  const std::uint32_t perThread = (st->numWalks + nt - 1) / nt;
+  std::vector<std::vector<std::uint32_t>> threadCounts(nt);
+  team.run([&](int tid) {
+    const std::uint32_t begin =
+        std::min(st->numWalks, static_cast<std::uint32_t>(tid) * perThread);
+    const std::uint32_t end = std::min(st->numWalks, begin + perThread);
+    if (begin >= end) return;
+    auto& counts = threadCounts[static_cast<std::size_t>(tid)];
+    counts.assign(st->n, 0);
+    const VertexId n = static_cast<VertexId>(st->n);
+    for (std::uint32_t w = begin; w < end; ++w) {
+      const std::size_t len = st->len[w];
+      VertexId* slice =
+          st->verts.data() + static_cast<std::size_t>(w) * st->stride;
+      std::memcpy(slice, packed + walkStart[w] * sizeof(VertexId),
+                  len * sizeof(VertexId));
+      if (slice[0] != st->rootOf(w))
+        throw std::runtime_error(
+            "walk image: walk does not start at its root");
+      for (std::size_t i = 0; i < len; ++i) {
+        const VertexId v = slice[i];
+        if (v >= n)
+          throw std::runtime_error("walk image: vertex id out of range");
+        ++counts[v];
+      }
+    }
+  });
+  // Per-thread tallies are exact integers well under 2^53, so the summed
+  // double is bit-identical to the repair path's repeated +1.0 adds.
+  const std::size_t vPerThread = (st->n + nt - 1) / nt;
+  team.run([&](int tid) {
+    const std::size_t begin =
+        std::min(st->n, static_cast<std::size_t>(tid) * vPerThread);
+    const std::size_t end = std::min(st->n, begin + vPerThread);
+    for (std::size_t v = begin; v < end; ++v) {
+      std::uint64_t total = 0;
+      for (const auto& counts : threadCounts)
+        if (!counts.empty()) total += counts[v];
+      st->visits.store(v, static_cast<double>(total));
+    }
+  });
+
+  // Chunked bound scans over the index and delta arrays — multi-megabyte
+  // sweeps that split across the same team (ThreadTeam::run rethrows the
+  // first worker's exception, so a violation still surfaces serially).
+  const auto parallelScan = [&](std::size_t count, auto&& body) {
+    const std::size_t per = (count + nt - 1) / nt;
+    team.run([&](int tid) {
+      const std::size_t b =
+          std::min(count, static_cast<std::size_t>(tid) * per);
+      const std::size_t e = std::min(count, b + per);
+      if (b < e) body(b, e);
+    });
+  };
+
+  BlobReader idx(img.visitIndex, "walk image visit index");
+  const auto indexCount = idx.readOne<std::uint64_t>();
+  idx.read(st->indexOffsets.data(), st->n + 1);
+  if (st->indexOffsets[0] != 0 || st->indexOffsets[st->n] != indexCount)
+    throw std::runtime_error("walk image: index offsets inconsistent");
+  parallelScan(st->n, [&](std::size_t b, std::size_t e) {
+    for (std::size_t v = b; v < e; ++v)
+      if (st->indexOffsets[v] > st->indexOffsets[v + 1])
+        throw std::runtime_error("walk image: index offsets not monotonic");
+  });
+  idx.readVector(st->indexWalks, static_cast<std::size_t>(indexCount));
+  parallelScan(st->indexWalks.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i)
+      if (st->indexWalks[i] >= st->numWalks)
+        throw std::runtime_error("walk image: index walk id out of range");
+  });
+  const auto deltaCount = idx.readOne<std::uint64_t>();
+  idx.read(st->deltaHead.data(), st->n);
+  idx.readVector(st->deltaWalk, static_cast<std::size_t>(deltaCount));
+  idx.readVector(st->deltaNext, static_cast<std::size_t>(deltaCount));
+  idx.expectExhausted();
+  const auto validDeltaRef = [&](std::uint32_t e) {
+    return e == MonteCarloState::kNoDelta || e < deltaCount;
+  };
+  parallelScan(st->n, [&](std::size_t b, std::size_t e) {
+    for (std::size_t v = b; v < e; ++v)
+      if (!validDeltaRef(st->deltaHead[v]))
+        throw std::runtime_error("walk image: delta head out of range");
+  });
+  parallelScan(st->deltaWalk.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      if (st->deltaWalk[i] >= st->numWalks)
+        throw std::runtime_error("walk image: delta walk id out of range");
+      if (!validDeltaRef(st->deltaNext[i]))
+        throw std::runtime_error("walk image: delta next out of range");
+    }
+  });
+  return st;
+}
+
+PprIndex buildPprIndex(const MonteCarloState& st, int numThreads) {
   PprIndex index;
   index.alpha = st.cfg.alpha;
   index.walksPerVertex = st.cfg.walksPerVertex;
   index.epoch = st.epoch;
   index.offsets.assign(st.n + 1, 0);
-  for (std::uint32_t w = 0; w < st.numWalks; ++w)
-    index.offsets[st.rootOf(w) + 1] += st.len[w];
+
+  int threads = ThreadTeam::resolveThreads(numThreads);
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw > 0) threads = std::min(threads, static_cast<int>(hw));
+  ThreadTeam team(threads);
+  const std::size_t nt = static_cast<std::size_t>(team.size());
+  const std::size_t rootsPerThread = (st.n + nt - 1) / nt;
+  const auto overRootRange = [&](auto&& body) {
+    team.run([&](int tid) {
+      const std::size_t b =
+          std::min(st.n, static_cast<std::size_t>(tid) * rootsPerThread);
+      const std::size_t e = std::min(st.n, b + rootsPerThread);
+      if (b < e) body(b, e);
+    });
+  };
+
+  const std::uint32_t perRoot = st.walksPerRoot();
+  overRootRange([&](std::size_t b, std::size_t e) {
+    for (std::size_t r = b; r < e; ++r) {
+      std::uint64_t total = 0;
+      const std::size_t wBegin = r * perRoot;
+      for (std::size_t w = wBegin; w < wBegin + perRoot; ++w)
+        total += st.len[w];
+      index.offsets[r + 1] = total;
+    }
+  });
   for (std::size_t r = 0; r < st.n; ++r)
     index.offsets[r + 1] += index.offsets[r];
   index.visitLog.resize(index.offsets[st.n]);
-  std::vector<std::uint64_t> cursor(index.offsets.begin(),
-                                    index.offsets.end() - 1);
-  for (std::uint32_t w = 0; w < st.numWalks; ++w) {
-    const VertexId r = st.rootOf(w);
-    const std::size_t slice = static_cast<std::size_t>(w) * st.stride;
-    for (std::size_t i = 0; i < st.len[w]; ++i)
-      index.visitLog[cursor[r]++] = st.verts[slice + i];
-  }
+  overRootRange([&](std::size_t b, std::size_t e) {
+    std::uint64_t cursor = index.offsets[b];
+    for (std::size_t r = b; r < e; ++r) {
+      const std::size_t wBegin = r * perRoot;
+      for (std::size_t w = wBegin; w < wBegin + perRoot; ++w) {
+        const std::size_t slice = w * st.stride;
+        for (std::size_t i = 0; i < st.len[w]; ++i)
+          index.visitLog[cursor++] = st.verts[slice + i];
+      }
+    }
+  });
   return index;
 }
 

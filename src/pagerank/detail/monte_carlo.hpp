@@ -47,14 +47,17 @@
 // factor — never the worst-case §4.5 certificate of the exact engines.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "graph/csr.hpp"
 #include "pagerank/atomics.hpp"
 #include "pagerank/ppr.hpp"
 #include "sched/work_ring.hpp"
+#include "util/default_init.hpp"
 #include "util/rng.hpp"
 
 namespace lfpr::detail {
@@ -117,8 +120,11 @@ struct MonteCarloState {
 
   /// Walk w occupies verts[w*stride .. w*stride + len[w]); len >= 1
   /// always (position 0 is the root). 0 is the transient "not yet
-  /// generated" marker inside a build.
-  std::vector<VertexId> verts;
+  /// generated" marker inside a build. Default-init storage: every live
+  /// position is written by build/repair/deserialize before any reader
+  /// sees it, and the dead stride padding is never read, so the
+  /// constructor skips zeroing what is by far its largest allocation.
+  std::vector<VertexId, DefaultInitAllocator<VertexId>> verts;
   std::vector<std::uint16_t> len;
 
   /// visits[v]: total stored walk positions at v. ±1.0 fetch-adds on
@@ -173,7 +179,78 @@ struct MonteCarloState {
 };
 
 /// Flatten the walk store into the immutable root-major PprIndex served
-/// through SnapshotBox. Sequential; called at publish time.
-[[nodiscard]] PprIndex buildPprIndex(const MonteCarloState& st);
+/// through SnapshotBox. Called at publish time; walks are root-major
+/// contiguous (rootOf == walk / R), so the counting sort partitions by
+/// root ranges and the output is bit-identical at any thread count.
+[[nodiscard]] PprIndex buildPprIndex(const MonteCarloState& st,
+                                     int numThreads = 1);
+
+/// Passive serialized image of a walk store — the payload the checkpoint
+/// walk sidecar persists (service/checkpoint.cpp owns the file format;
+/// this layer owns the byte layout of the two blobs).
+///
+///   segments    len[] (u16 x numWalks) followed by the live positions of
+///               every walk in walk-id order (u32 x sum(len)) — exactly
+///               the bytes fingerprint() covers, no dead stride padding.
+///   visitIndex  the base CSR (count, offsets, walk ids) plus the delta
+///               chains verbatim. Persisting the index as-is rather than
+///               recompacting keeps a resumed store byte-identical to the
+///               store that was checkpointed — the next compaction fires
+///               on the same deterministic threshold either way.
+///
+/// `visits` is deliberately absent: the counts are exact small integers
+/// recounted from the segments on deserialize, so they cannot disagree
+/// with the walks they summarize.
+struct WalkStoreImage {
+  McConfig cfg;
+  std::uint64_t numVertices = 0;
+  std::uint64_t numWalks = 0;
+  /// Walk-store epoch (batches repaired so far) — names the RNG streams
+  /// the resumed store continues from.
+  std::uint64_t epoch = 0;
+  std::vector<std::byte> segments;
+  std::vector<std::byte> visitIndex;
+};
+
+/// Non-owning view of a serialized store — what the checkpoint loader
+/// hands straight off its mmap so a multi-megabyte sidecar is copied
+/// exactly once (blob -> resident state), never staged through owning
+/// vectors first.
+struct WalkStoreImageView {
+  McConfig cfg;
+  std::uint64_t numVertices = 0;
+  std::uint64_t numWalks = 0;
+  std::uint64_t epoch = 0;
+  std::span<const std::byte> segments;
+  std::span<const std::byte> visitIndex;
+};
+
+/// Snapshot a (quiescent) store into its serialized image. Called by the
+/// checkpoint writer on the ingest thread between steps — claims are
+/// all-zero and the scheduler cache is irrelevant, so neither is part of
+/// the image.
+[[nodiscard]] WalkStoreImage mcSerializeStore(const MonteCarloState& st);
+
+/// Rebuild a resident store from an image, validating every structural
+/// invariant (walk lengths in [1, maxWalkLength], vertex ids < n, index
+/// offsets monotonic and consistent with the blob sizes, delta chains
+/// in-bounds) — throws std::runtime_error / std::invalid_argument on the
+/// first violation, so a checkpoint loader can treat "deserializes
+/// cleanly" as "safe to resume repairs on". Visit counts are recounted
+/// from the segments; claim flags and the scheduler cache start fresh.
+/// The segment pass (copy + validate + recount) parallelizes over walk
+/// ranges — pass the solver's thread budget so restart resume scales
+/// with the same cores a from-scratch rebuild would use.
+[[nodiscard]] std::unique_ptr<MonteCarloState> mcDeserializeStore(
+    const WalkStoreImageView& img, int numThreads = 1);
+
+/// Owning-image convenience overload (tests and in-process round trips).
+[[nodiscard]] inline std::unique_ptr<MonteCarloState> mcDeserializeStore(
+    const WalkStoreImage& img, int numThreads = 1) {
+  return mcDeserializeStore(
+      WalkStoreImageView{img.cfg, img.numVertices, img.numWalks, img.epoch,
+                         img.segments, img.visitIndex},
+      numThreads);
+}
 
 }  // namespace lfpr::detail

@@ -11,6 +11,7 @@
 
 #include "graph/csr_file.hpp"
 #include "util/checksum.hpp"
+#include "util/failpoint.hpp"
 #include "util/io_retry.hpp"
 #include "util/mmap_file.hpp"
 
@@ -28,14 +29,18 @@ std::string metaPath(const std::string& dir, std::uint64_t epoch) {
   return dir + "/ckpt-" + std::to_string(epoch) + ".meta";
 }
 
-/// Parse "ckpt-<epoch>.meta" -> epoch; nullopt for anything else.
-std::optional<std::uint64_t> metaEpoch(const fs::path& p) {
-  const std::string name = p.filename().string();
+std::string walksPath(const std::string& dir, std::uint64_t epoch) {
+  return dir + "/ckpt-" + std::to_string(epoch) + ".walks";
+}
+
+/// Parse "ckpt-<epoch><suffix>" -> epoch; nullopt for anything else.
+std::optional<std::uint64_t> ckptEpoch(const std::string& name,
+                                       std::string_view suffix) {
   constexpr std::string_view prefix = "ckpt-";
-  constexpr std::string_view suffix = ".meta";
   if (name.size() <= prefix.size() + suffix.size() ||
       name.compare(0, prefix.size(), prefix) != 0 ||
-      name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0)
+      name.compare(name.size() - suffix.size(), suffix.size(),
+                   suffix) != 0)
     return std::nullopt;
   const std::string digits =
       name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
@@ -45,11 +50,121 @@ std::optional<std::uint64_t> metaEpoch(const fs::path& p) {
   return std::strtoull(digits.c_str(), nullptr, 10);
 }
 
+/// Parse "ckpt-<epoch>.meta" -> epoch; nullopt for anything else.
+std::optional<std::uint64_t> metaEpoch(const fs::path& p) {
+  return ckptEpoch(p.filename().string(), ".meta");
+}
+
+/// Epoch of ANY file of a checkpoint set (.csr / .meta / .walks) so the
+/// pruner treats the set as one unit. Quarantined .walks.torn files are
+/// deliberately NOT matched — they are preserved for forensics.
+std::optional<std::uint64_t> ckptSetEpoch(const fs::path& p) {
+  const std::string name = p.filename().string();
+  for (const std::string_view suffix : {".meta", ".csr", ".walks"})
+    if (const auto e = ckptEpoch(name, suffix)) return e;
+  return std::nullopt;
+}
+
+/// Write the walk sidecar for `meta`'s checkpoint, tmp-then-rename.
+/// Runs between the csr rename and the meta rename: a crash here leaves
+/// at worst an orphan sidecar (or its tmp) that the next checkpoint's
+/// prune / sweep removes — the meta that would have announced it never
+/// landed.
+void writeWalkSidecar(const std::string& path, const CheckpointHeader& meta,
+                      const detail::WalkStoreImage& img) {
+  WalkSidecarHeader h{};
+  std::memcpy(h.magic, kWalkSidecarMagic, sizeof(h.magic));
+  h.version = kWalkSidecarVersion;
+  h.headerBytes = sizeof(WalkSidecarHeader);
+  h.epoch = meta.epoch;
+  h.mcEpoch = img.epoch;
+  h.seed = img.cfg.seed;
+  h.walksPerVertex = static_cast<std::uint32_t>(img.cfg.walksPerVertex);
+  h.maxWalkLength = static_cast<std::uint32_t>(img.cfg.maxWalkLength);
+  h.walkIdBits = 32;
+  h.alpha = img.cfg.alpha;
+  h.numVertices = img.numVertices;
+  h.numWalks = img.numWalks;
+  h.segmentBytes = img.segments.size();
+  h.indexBytes = img.visitIndex.size();
+  h.metaChecksum = meta.checksum;
+  h.csrChecksum = meta.csrChecksum;
+  Checksum64 sum;
+  sum.update(img.segments);
+  sum.update(img.visitIndex);
+  h.checksum = sum.value();
+
+  const std::string what = "walk sidecar '" + path + "'";
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  {
+    io::FdFile out = io::FdFile::create(tmp, what, "ckpt.walks.open");
+    out.write(&h, sizeof(h), "ckpt.walks.write");
+    if (!img.segments.empty())
+      out.write(img.segments.data(), img.segments.size(), "ckpt.walks.write");
+    if (!img.visitIndex.empty())
+      out.write(img.visitIndex.data(), img.visitIndex.size(),
+                "ckpt.walks.write");
+    out.sync("ckpt.walks.fsync");
+    out.close();
+  }
+  io::renameFile(tmp, path, what, "ckpt.walks.rename");
+}
+
+/// Verify and deserialize the walk sidecar of a checkpoint whose meta
+/// header is `meta`. Throws on the first failed check — the caller
+/// quarantines.
+std::unique_ptr<detail::MonteCarloState> loadWalkSidecar(
+    const std::string& path, const CheckpointHeader& meta, int numThreads) {
+  const MmapFile map = MmapFile::open(path);
+  const auto bytes = map.bytes();
+  WalkSidecarHeader h{};
+  if (bytes.size() < sizeof(h))
+    throw CheckpointError("truncated: smaller than the header");
+  std::memcpy(&h, bytes.data(), sizeof(h));
+  if (std::memcmp(h.magic, kWalkSidecarMagic, sizeof(h.magic)) != 0)
+    throw CheckpointError("bad magic");
+  if (h.version != kWalkSidecarVersion)
+    throw CheckpointError("unsupported version " + std::to_string(h.version));
+  if (h.headerBytes != sizeof(WalkSidecarHeader))
+    throw CheckpointError("header size mismatch");
+  if (h.epoch != meta.epoch)
+    throw CheckpointError("epoch field disagrees with the meta");
+  if (h.metaChecksum != meta.checksum || h.csrChecksum != meta.csrChecksum)
+    throw CheckpointError("sidecar does not bind to this .meta/.csr pair");
+  if (h.walkIdBits != 32)
+    throw CheckpointError("unsupported walk-id width " +
+                          std::to_string(h.walkIdBits));
+  if (h.numVertices != meta.numVertices)
+    throw CheckpointError("vertex count disagrees with the meta");
+  if (bytes.size() != sizeof(h) + h.segmentBytes + h.indexBytes)
+    throw CheckpointError("payload size mismatch");
+  if (checksum64(bytes.subspan(sizeof(h))) != h.checksum)
+    throw CheckpointError("payload checksum mismatch");
+
+  // A non-owning view straight off the mmap: the blobs are copied once,
+  // into the resident store, never staged through owning vectors.
+  detail::WalkStoreImageView img;
+  img.cfg.walksPerVertex = static_cast<int>(h.walksPerVertex);
+  img.cfg.maxWalkLength = static_cast<int>(h.maxWalkLength);
+  img.cfg.seed = h.seed;
+  img.cfg.alpha = h.alpha;
+  img.numVertices = h.numVertices;
+  img.numWalks = h.numWalks;
+  img.epoch = h.mcEpoch;
+  img.segments = bytes.subspan(sizeof(h), h.segmentBytes);
+  img.visitIndex = bytes.subspan(sizeof(h) + h.segmentBytes, h.indexBytes);
+  // Full structural validation (lengths, vertex ids, index bounds)
+  // happens here — "loads" means "safe to resume repairs on".
+  return detail::mcDeserializeStore(img, numThreads);
+}
+
 }  // namespace
 
 void writeCheckpoint(const std::string& dir, const CheckpointData& data) {
   // The csr half first: meta's existence implies "my csr is complete",
   // which only holds if the csr rename happened before the meta rename.
+  // The walk sidecar sits between the two for the same reason — the
+  // meta's sidecar flag must never name a file that is not fully there.
   const std::string csr = csrPath(dir, data.epoch);
   writeCsrFile(csr, data.graph);
 
@@ -63,15 +178,18 @@ void writeCheckpoint(const std::string& dir, const CheckpointData& data) {
   h.batchesApplied = data.batchesApplied;
   h.edgesIngested = data.edgesIngested;
   h.iterations = static_cast<std::uint32_t>(std::max(data.iterations, 0));
+  h.flags = data.walks ? kCheckpointFlagWalkSidecar : 0;
   h.toleranceBound = data.toleranceBound;
   h.csrChecksum = csrFileChecksum(csr);
   h.payloadBytes = data.ranks.size() * sizeof(double);
   h.checksum = checksum64(std::as_bytes(std::span(data.ranks)));
 
+  const std::string walks = walksPath(dir, data.epoch);
   const std::string meta = metaPath(dir, data.epoch);
   const std::string what = "checkpoint '" + meta + "'";
   const std::string tmp = meta + ".tmp." + std::to_string(::getpid());
   try {
+    if (data.walks) writeWalkSidecar(walks, h, *data.walks);
     {
       io::FdFile out = io::FdFile::create(tmp, what, "ckpt.meta.open");
       out.write(&h, sizeof(h), "ckpt.meta.write");
@@ -83,18 +201,21 @@ void writeCheckpoint(const std::string& dir, const CheckpointData& data) {
     io::renameFile(tmp, meta, what, "ckpt.meta.rename");
     io::fsyncDirectory(dir);
   } catch (const FailPointAbort&) {
-    throw;  // a real crash leaves the tmp; sweepStaleTmpFiles handles it
+    throw;  // a real crash leaves the tmps; sweepStaleTmpFiles handles them
   } catch (...) {
     std::error_code ignored;
     fs::remove(tmp, ignored);
-    fs::remove(csr, ignored);  // an orphan csr half is just noise
+    fs::remove(walks + ".tmp." + std::to_string(::getpid()), ignored);
+    fs::remove(walks, ignored);  // orphan halves are just noise
+    fs::remove(csr, ignored);
     throw;
   }
 }
 
 std::optional<CheckpointData> loadNewestCheckpoint(
     const std::string& dir, VertexId numVertices,
-    const std::function<void(const std::string&)>& onWarning) {
+    const std::function<void(const std::string&)>& onWarning,
+    int numThreads) {
   const auto warn = [&](const std::string& m) {
     if (onWarning) onWarning(m);
   };
@@ -149,6 +270,30 @@ std::optional<CheckpointData> loadNewestCheckpoint(
       if (!data.ranks.empty())
         std::memcpy(data.ranks.data(), payload.data(), payload.size());
       data.graph = mapCsrFile(csr);  // full validation + checksum pass
+
+      // The pair is good. The walk sidecar (when announced) is strictly
+      // optional on top: any failure — missing, truncated, version skew,
+      // checksum tamper, structural rot — quarantines it and the
+      // checkpoint still loads, so recovery rebuilds the store from the
+      // journal instead of resuming. Approximate resume state must never
+      // veto exact rank recovery.
+      if ((h.flags & kCheckpointFlagWalkSidecar) != 0) {
+        const std::string walks = walksPath(dir, epoch);
+        try {
+          data.walkStore = loadWalkSidecar(walks, h, numThreads);
+        } catch (const FailPointAbort&) {
+          throw;
+        } catch (const std::exception& e) {
+          const std::string torn = walks + ".torn";
+          std::error_code qec;
+          fs::rename(walks, torn, qec);
+          data.walkSidecarQuarantined = true;
+          warn("checkpoint epoch " + std::to_string(epoch) +
+               " walk sidecar is invalid (" + std::string(e.what()) +
+               "); quarantined to '" + torn +
+               "'; the walk store will be rebuilt from the journal");
+        }
+      }
       return data;
     } catch (const FailPointAbort&) {
       throw;
@@ -161,17 +306,15 @@ std::optional<CheckpointData> loadNewestCheckpoint(
 }
 
 void pruneCheckpoints(const std::string& dir, std::uint64_t keepEpoch) {
+  // Crash site of its own: a kill here leaves extra complete sets, which
+  // recovery tolerates (it takes the newest valid one), but must never
+  // half-delete the set it was told to keep — hence matching whole sets
+  // by epoch rather than deleting file by suffix.
+  LFPR_FAILPOINT("ckpt.prune");
   std::error_code ec;
   std::vector<fs::path> doomed;
   for (const auto& entry : fs::directory_iterator(dir, ec)) {
-    const std::string name = entry.path().filename().string();
-    if (name.rfind("ckpt-", 0) != 0) continue;
-    const auto asMeta = entry.path();
-    // Reuse the meta parser for both halves by normalizing the suffix.
-    fs::path probe = asMeta;
-    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".csr") == 0)
-      probe.replace_extension(".meta");
-    const auto epoch = metaEpoch(probe);
+    const auto epoch = ckptSetEpoch(entry.path());
     if (epoch && *epoch != keepEpoch) doomed.push_back(entry.path());
   }
   for (const auto& p : doomed) fs::remove(p, ec);

@@ -26,18 +26,24 @@ void appendBatch(BatchUpdate& merged, const BatchUpdate& batch) {
 RankService::RankService(const CsrGraph& initial, ServiceOptions opt)
     : opt_(std::move(opt)),
       numVertices_(initial.numVertices()),
-      graph_(DynamicDigraph::fromCsr(initial)),
       state_(initial.numVertices()) {
-  graph_.ensureSelfLoops();
-  curr_ = graph_.toCsr();
   state_.seedUniform();
 
   // Recovery (when durability is on) runs synchronously before the
   // ingest thread exists: checkpoint load, journal scan + quarantine,
   // compaction. Nothing can append concurrently, so the journal's
-  // single-threaded recovery phase really is single-threaded.
+  // single-threaded recovery phase really is single-threaded. The
+  // resident graph comes from the newest checkpoint when one loads;
+  // only the no-checkpoint path pays to materialize `initial` — restart
+  // latency is the service's contractual recovery metric, so the boot
+  // path builds each structure exactly once.
   std::unique_ptr<RankSnapshot> seed;
   if (opt_.durability.enabled()) seed = initDurability();
+  if (!recoveredFromCheckpoint_) {
+    graph_ = DynamicDigraph::fromCsr(initial);
+    graph_.ensureSelfLoops();
+    curr_ = graph_.toCsr();
+  }
 
   if (!seed) {
     // Epoch-0 placeholder so readers never observe a null snapshot:
@@ -63,12 +69,18 @@ std::unique_ptr<RankSnapshot> RankService::initDurability() {
 
   std::uint64_t ckptSeq = 0;
   std::unique_ptr<RankSnapshot> recovered;
-  if (auto ckpt = loadNewestCheckpoint(d.directory, numVertices_, d.onWarning)) {
+  if (auto ckpt = loadNewestCheckpoint(d.directory, numVertices_, d.onWarning,
+                                       opt_.solver.numThreads)) {
     // Resume as the checkpointed epoch: the graph, the warm ranks, and
     // the certificate are exactly a snapshot this service once
     // published, so republishing it is sound by construction.
     graph_ = DynamicDigraph::fromCsr(ckpt->graph);
-    curr_ = graph_.toCsr();
+    // The mapped checkpoint CSR is the exact graph this service
+    // checkpointed (shared storage keeps the mapping alive), so adopt
+    // it instead of re-materializing through graph_.toCsr() — recovery
+    // is on the restart critical path, and the first applied batch
+    // replaces curr_ anyway.
+    curr_ = std::move(ckpt->graph);
     state_.seedRanks(ckpt->ranks);
     needFullResolve_ = false;
     nextEpoch_ = ckpt->epoch + 1;
@@ -90,6 +102,41 @@ std::unique_ptr<RankSnapshot> RankService::initDurability() {
     recovered->edgesIngested = ckpt->edgesIngested;
     recovered->publishedAt = std::chrono::steady_clock::now();
     publishedEpoch_.store(ckpt->epoch, std::memory_order_release);
+
+    if (ckpt->walkSidecarQuarantined)
+      walkSidecarsQuarantined_.fetch_add(1, std::memory_order_relaxed);
+    if (ckpt->walkStore != nullptr) {
+      // Resume the walk store instead of rebuilding — but only into a
+      // service that will actually run it, with the exact config the
+      // sidecar was built under. On any disagreement the store is
+      // dropped here (lfMonteCarloStep would discard it anyway) and the
+      // journal replay rebuilds from scratch.
+      const detail::McConfig want{opt_.solver.mcWalksPerVertex,
+                                  opt_.solver.mcMaxWalkLength,
+                                  opt_.solver.mcSeed, opt_.solver.alpha};
+      if (useMonteCarlo() && ckpt->walkStore->cfg == want &&
+          ckpt->walkStore->n == numVertices_) {
+        state_.monteCarlo = std::move(ckpt->walkStore);
+        state_.monteCarloValid = true;
+        walkResumes_.fetch_add(1, std::memory_order_relaxed);
+        // The recovered snapshot regains its MC face: the fingerprint
+        // pins the resumed store and pprTopK serves immediately, exactly
+        // as the pre-crash epoch did.
+        recovered->monteCarlo = true;
+        recovered->mcFingerprint = state_.monteCarlo->fingerprint();
+        recovered->ppr = std::make_shared<const PprIndex>(
+            detail::buildPprIndex(*state_.monteCarlo, opt_.solver.numThreads));
+      } else if (d.onWarning) {
+        d.onWarning(
+            "checkpoint walk sidecar ignored: " +
+            std::string(useMonteCarlo()
+                            ? "its (seed, R, length, alpha) or vertex count "
+                              "disagrees with the service options"
+                            : "the service is not running StepEngine::"
+                              "MonteCarlo") +
+            "; the walk store will be rebuilt if needed");
+      }
+    }
   }
 
   IngestJournal::Options jopt;
@@ -265,6 +312,10 @@ ServiceStats RankService::stats() const {
   s.journaledBatches = journaledBatches_.load(std::memory_order_relaxed);
   s.replayedBatches = replayedBatches_.load(std::memory_order_relaxed);
   s.checkpoints = checkpoints_.load(std::memory_order_relaxed);
+  s.walkCheckpoints = walkCheckpoints_.load(std::memory_order_relaxed);
+  s.walkResumes = walkResumes_.load(std::memory_order_relaxed);
+  s.walkSidecarsQuarantined =
+      walkSidecarsQuarantined_.load(std::memory_order_relaxed);
   s.ioFailures = ioFailures_.load(std::memory_order_relaxed);
   s.journalQuarantinedBytes = journal_ ? journal_->quarantinedBytes() : 0;
   return s;
@@ -300,10 +351,18 @@ void RankService::maybeCheckpoint(bool force) {
     data.toleranceBound = lastPublishedBound_;
     data.ranks = state_.ranks.toVector();
     data.graph = curr_;
+    // The walk store rides along whenever the resident one is live and
+    // consistent with curr_ (monteCarloValid): restart then *resumes*
+    // repairs from this store instead of replaying the journal through a
+    // from-scratch rebuild.
+    if (useMonteCarlo() && state_.monteCarloValid &&
+        state_.monteCarlo != nullptr)
+      data.walks = detail::mcSerializeStore(*state_.monteCarlo);
     writeCheckpoint(opt_.durability.directory, data);
     pruneCheckpoints(opt_.durability.directory, data.epoch);
     journal_->resetIfCovered(lastAppliedSeq_);
     checkpoints_.fetch_add(1, std::memory_order_relaxed);
+    if (data.walks) walkCheckpoints_.fetch_add(1, std::memory_order_relaxed);
     publishesSinceCkpt_ = 0;
   } catch (const FailPointAbort&) {
     // Simulated kill mid-checkpoint: every later durability site aborts
@@ -351,7 +410,7 @@ void RankService::publishConverged(const PageRankResult& result) {
     snap->monteCarlo = true;
     snap->mcFingerprint = state_.monteCarlo->fingerprint();
     snap->ppr = std::make_shared<const PprIndex>(
-        detail::buildPprIndex(*state_.monteCarlo));
+        detail::buildPprIndex(*state_.monteCarlo, opt_.solver.numThreads));
   }
   if (opt_.onPublish) opt_.onPublish(*snap);
   const std::uint64_t epoch = snap->epoch;

@@ -198,6 +198,15 @@ struct ServiceStats {
   /// Journal-tail batches re-applied by restart recovery.
   std::uint64_t replayedBatches = 0;
   std::uint64_t checkpoints = 0;
+  /// Checkpoints that carried a walk-store sidecar (MonteCarlo engine
+  /// with a valid resident store at checkpoint time).
+  std::uint64_t walkCheckpoints = 0;
+  /// Restarts that resumed the walk store from a sidecar instead of
+  /// rebuilding it through the journal (0 or 1 per service lifetime).
+  std::uint64_t walkResumes = 0;
+  /// Walk sidecars quarantined to *.walks.torn by recovery (announced by
+  /// the meta but failed verification; the store was rebuilt instead).
+  std::uint64_t walkSidecarsQuarantined = 0;
   /// Unrecoverable durability I/O failures (each one degrades or is a
   /// skipped checkpoint).
   std::uint64_t ioFailures = 0;
@@ -221,7 +230,13 @@ class RankService {
   /// readers immediately see its epoch (certificate intact — the ranks
   /// ARE a previously published snapshot) instead of the placeholder,
   /// and the ingest thread replays the journal tail through the normal
-  /// DF step path before consuming new batches. `initial` must be the
+  /// DF step path before consuming new batches. Under StepEngine::
+  /// MonteCarlo, a checkpoint whose walk sidecar verifies additionally
+  /// resumes the resident walk store (the recovered snapshot serves
+  /// pprTopK immediately and the journal-tail replay runs as walk
+  /// repairs, not a rebuild); a torn/missing/mismatched sidecar is
+  /// quarantined and the store rebuilds from the journal instead —
+  /// rank recovery is identical either way. `initial` must be the
   /// same graph a clean run would have started from; it seeds the very
   /// first run and is superseded by the checkpoint afterwards.
   explicit RankService(const CsrGraph& initial, ServiceOptions opt = {});
@@ -376,6 +391,9 @@ class RankService {
   std::atomic<std::uint64_t> journaledBatches_{0};
   std::atomic<std::uint64_t> replayedBatches_{0};
   std::atomic<std::uint64_t> checkpoints_{0};
+  std::atomic<std::uint64_t> walkCheckpoints_{0};
+  std::atomic<std::uint64_t> walkResumes_{0};
+  std::atomic<std::uint64_t> walkSidecarsQuarantined_{0};
   std::atomic<std::uint64_t> ioFailures_{0};
 
   std::thread ingest_;

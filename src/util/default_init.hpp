@@ -1,0 +1,40 @@
+// Allocator adaptor that default-initializes (rather than
+// value-initializes) elements a container creates without explicit
+// arguments: resizing a multi-megabyte trivially-copyable buffer that
+// is fully overwritten right afterwards should not pay a memset first.
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace lfpr {
+
+template <typename T, typename A = std::allocator<T>>
+class DefaultInitAllocator : public A {
+  using Traits = std::allocator_traits<A>;
+
+ public:
+  template <typename U>
+  struct rebind {
+    using other =
+        DefaultInitAllocator<U, typename Traits::template rebind_alloc<U>>;
+  };
+
+  using A::A;
+
+  /// The no-argument case is the whole point: `U u;` leaves trivial
+  /// types uninitialized where `U u{};` would zero them.
+  template <typename U>
+  void construct(U* ptr) noexcept(std::is_nothrow_default_constructible_v<U>) {
+    ::new (static_cast<void*>(ptr)) U;
+  }
+
+  template <typename U, typename... Args>
+  void construct(U* ptr, Args&&... args) {
+    Traits::construct(static_cast<A&>(*this), ptr,
+                      std::forward<Args>(args)...);
+  }
+};
+
+}  // namespace lfpr

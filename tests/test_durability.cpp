@@ -11,9 +11,11 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -22,6 +24,8 @@
 #include "graph/csr_file.hpp"
 #include "graph/dynamic_digraph.hpp"
 #include "graph/edge_log.hpp"
+#include "pagerank/detail/engine_step.hpp"
+#include "pagerank/detail/monte_carlo.hpp"
 #include "pagerank/pagerank.hpp"
 #include "service/checkpoint.hpp"
 #include "service/ingest_journal.hpp"
@@ -306,8 +310,14 @@ TEST_F(DurabilityTest, CheckpointRoundTrip) {
   EXPECT_TRUE(fs::exists(path("ckpt-4.csr")));
   EXPECT_TRUE(fs::exists(path("ckpt-4.meta")));
 
+  // No walk sidecar was requested: pre-PR 10 shape, flags == 0, and the
+  // loader hands back a null store without complaint.
+  EXPECT_FALSE(fs::exists(path("ckpt-4.walks")));
+
   const auto loaded = loadNewestCheckpoint(dir_.string(), kVertices, nullptr);
   ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->walkStore, nullptr);
+  EXPECT_FALSE(loaded->walkSidecarQuarantined);
   EXPECT_EQ(loaded->epoch, 4u);
   EXPECT_EQ(loaded->journalSeq, 40u);
   EXPECT_EQ(loaded->batchesApplied, 12u);
@@ -374,12 +384,169 @@ TEST_F(DurabilityTest, PruneKeepsOnlyTheNamedEpoch) {
 
 TEST_F(DurabilityTest, SweepRemovesOnlyTmpScratch) {
   std::ofstream(path("ckpt-9.csr.tmp.4242")) << "stale";
+  std::ofstream(path("ckpt-9.walks.tmp.4242")) << "stale";
   std::ofstream(path("journal.tmp.4242")) << "stale";
   std::ofstream(path("keepme.csr")) << "live";
+  std::ofstream(path("keepme.walks")) << "live";
   sweepStaleTmpFiles(dir_.string());
   EXPECT_FALSE(fs::exists(path("ckpt-9.csr.tmp.4242")));
+  EXPECT_FALSE(fs::exists(path("ckpt-9.walks.tmp.4242")));
   EXPECT_FALSE(fs::exists(path("journal.tmp.4242")));
   EXPECT_TRUE(fs::exists(path("keepme.csr")));
+  EXPECT_TRUE(fs::exists(path("keepme.walks")));
+}
+
+// ---------------------------------------------------------------------
+// Walk sidecar (PR 10): a checkpoint written by a MonteCarlo service is
+// an atomic TRIPLE — but the sidecar is strictly weaker than the pair:
+// any sidecar defect quarantines it and the exact rank recovery
+// proceeds untouched.
+
+PageRankOptions walkSolverOptions() {
+  PageRankOptions opt;
+  opt.numThreads = 2;
+  opt.mcWalksPerVertex = 4;
+  return opt;
+}
+
+/// sampleCheckpoint plus a REAL walk store: built on the epoch's graph,
+/// then repaired through two batches so the persisted store carries a
+/// non-zero walk epoch and live delta chains — the interesting shape.
+CheckpointData sampleWalkCheckpoint(std::uint64_t epoch,
+                                    std::uint64_t graphSeed,
+                                    std::uint64_t* fingerprint = nullptr) {
+  CheckpointData d = sampleCheckpoint(epoch, graphSeed);
+  const auto opt = walkSolverOptions();
+  detail::LfEngineState state(d.graph.numVertices());
+  EXPECT_TRUE(detail::lfMonteCarloStep(state, d.graph, d.graph, {}, opt,
+                                       nullptr, "test")
+                  .converged);
+  auto g = DynamicDigraph::fromCsr(d.graph);
+  Rng rng(graphSeed ^ 0xabcdULL);
+  auto prev = d.graph;
+  for (int i = 0; i < 2; ++i) {
+    const auto batch = generateBatch(g, 60, rng);
+    g.applyBatch(batch);
+    const auto curr = g.toCsr();
+    EXPECT_TRUE(detail::lfMonteCarloStep(state, prev, curr, batch, opt,
+                                         nullptr, "test")
+                    .converged);
+    prev = curr;
+  }
+  d.graph = prev;  // the store is consistent with THIS graph
+  d.walks = detail::mcSerializeStore(*state.monteCarlo);
+  if (fingerprint != nullptr) *fingerprint = state.monteCarlo->fingerprint();
+  return d;
+}
+
+TEST_F(DurabilityTest, WalkSidecarRoundTrip) {
+  std::uint64_t fp = 0;
+  writeCheckpoint(dir_.string(), sampleWalkCheckpoint(4, 61, &fp));
+  EXPECT_TRUE(fs::exists(path("ckpt-4.csr")));
+  EXPECT_TRUE(fs::exists(path("ckpt-4.walks")));
+  EXPECT_TRUE(fs::exists(path("ckpt-4.meta")));
+
+  const auto loaded = loadNewestCheckpoint(dir_.string(), kVertices, nullptr);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->epoch, 4u);
+  EXPECT_FALSE(loaded->walkSidecarQuarantined);
+  ASSERT_NE(loaded->walkStore, nullptr);
+  // Bit-identity, not approximation: the fingerprint covers the config,
+  // the walk epoch, and every live walk's contents.
+  EXPECT_EQ(loaded->walkStore->fingerprint(), fp);
+  EXPECT_EQ(loaded->walkStore->epoch, 2u) << "the two repairs must survive";
+  EXPECT_EQ(loaded->walkStore->n, static_cast<std::size_t>(kVertices));
+}
+
+TEST_F(DurabilityTest, WalkSidecarTornQuarantinesAndPairStillLoads) {
+  const auto data = sampleWalkCheckpoint(5, 62);
+  writeCheckpoint(dir_.string(), data);
+  truncateFile(path("ckpt-5.walks"), fs::file_size(path("ckpt-5.walks")) - 9);
+
+  std::vector<std::string> warnings;
+  const auto loaded =
+      loadNewestCheckpoint(dir_.string(), kVertices,
+                           [&](const std::string& w) { warnings.push_back(w); });
+  // Approximate resume state must never block exact rank recovery.
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->epoch, 5u);
+  EXPECT_EQ(loaded->ranks, data.ranks);
+  EXPECT_EQ(loaded->walkStore, nullptr);
+  EXPECT_TRUE(loaded->walkSidecarQuarantined);
+  EXPECT_FALSE(fs::exists(path("ckpt-5.walks")));
+  EXPECT_TRUE(fs::exists(path("ckpt-5.walks.torn")));
+  ASSERT_FALSE(warnings.empty());
+  EXPECT_NE(warnings[0].find("ckpt-5.walks.torn"), std::string::npos)
+      << "the warning must name the quarantine file: " << warnings[0];
+  EXPECT_NE(warnings[0].find("rebuilt from the journal"), std::string::npos)
+      << warnings[0];
+}
+
+TEST_F(DurabilityTest, WalkSidecarChecksumTamperQuarantines) {
+  writeCheckpoint(dir_.string(), sampleWalkCheckpoint(6, 63));
+  // Flip one payload byte: header parses, payload checksum must not.
+  corruptByte(path("ckpt-6.walks"), sizeof(WalkSidecarHeader) + 33);
+  const auto loaded = loadNewestCheckpoint(dir_.string(), kVertices, nullptr);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->epoch, 6u);
+  EXPECT_EQ(loaded->walkStore, nullptr);
+  EXPECT_TRUE(loaded->walkSidecarQuarantined);
+  EXPECT_TRUE(fs::exists(path("ckpt-6.walks.torn")));
+}
+
+TEST_F(DurabilityTest, WalkSidecarVersionSkewQuarantines) {
+  writeCheckpoint(dir_.string(), sampleWalkCheckpoint(7, 64));
+  // Corrupt the version field (first u32 after the 8-byte magic): a
+  // future-format sidecar must be quarantined, never misparsed.
+  corruptByte(path("ckpt-7.walks"), 8);
+  const auto loaded = loadNewestCheckpoint(dir_.string(), kVertices, nullptr);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->epoch, 7u);
+  EXPECT_EQ(loaded->walkStore, nullptr);
+  EXPECT_TRUE(loaded->walkSidecarQuarantined);
+  EXPECT_TRUE(fs::exists(path("ckpt-7.walks.torn")));
+}
+
+TEST_F(DurabilityTest, WalkSidecarMustBindToItsOwnPair) {
+  writeCheckpoint(dir_.string(), sampleWalkCheckpoint(2, 65));
+  writeCheckpoint(dir_.string(), sampleWalkCheckpoint(8, 66));
+  // Replace epoch 8's sidecar with epoch 2's: the foreign file is
+  // internally self-consistent (its own checksum verifies) but names a
+  // different epoch/meta/csr — the binding check must reject it rather
+  // than resume a store inconsistent with epoch 8's graph.
+  fs::copy_file(path("ckpt-2.walks"), path("ckpt-8.walks"),
+                fs::copy_options::overwrite_existing);
+  const auto loaded = loadNewestCheckpoint(dir_.string(), kVertices, nullptr);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->epoch, 8u);
+  EXPECT_EQ(loaded->walkStore, nullptr);
+  EXPECT_TRUE(loaded->walkSidecarQuarantined);
+  EXPECT_TRUE(fs::exists(path("ckpt-8.walks.torn")));
+}
+
+TEST_F(DurabilityTest, PruneTreatsWalkSidecarAsPartOfTheTriple) {
+  writeCheckpoint(dir_.string(), sampleWalkCheckpoint(1, 67));
+  writeCheckpoint(dir_.string(), sampleCheckpoint(2, 68));  // pair only
+  writeCheckpoint(dir_.string(), sampleWalkCheckpoint(3, 69));
+  // A stray sidecar with no pair (a crash between walks-rename and
+  // meta-write on some old epoch) and a quarantined sidecar.
+  std::ofstream(path("ckpt-9.walks")) << "orphan";
+  std::ofstream(path("ckpt-2.walks.torn")) << "forensics";
+
+  pruneCheckpoints(dir_.string(), 3);
+  // The kept epoch survives as a whole triple.
+  EXPECT_TRUE(fs::exists(path("ckpt-3.csr")));
+  EXPECT_TRUE(fs::exists(path("ckpt-3.walks")));
+  EXPECT_TRUE(fs::exists(path("ckpt-3.meta")));
+  // Everything else goes with its set — including sidecars and orphans.
+  EXPECT_FALSE(fs::exists(path("ckpt-1.csr")));
+  EXPECT_FALSE(fs::exists(path("ckpt-1.walks")));
+  EXPECT_FALSE(fs::exists(path("ckpt-1.meta")));
+  EXPECT_FALSE(fs::exists(path("ckpt-2.csr")));
+  EXPECT_FALSE(fs::exists(path("ckpt-2.meta")));
+  EXPECT_FALSE(fs::exists(path("ckpt-9.walks")));
+  // Quarantine files are forensic evidence, preserved like journal.torn.
+  EXPECT_TRUE(fs::exists(path("ckpt-2.walks.torn")));
 }
 
 // ---------------------------------------------------------------------
@@ -544,6 +711,166 @@ TEST_F(DurabilityTest, ServiceGroupCommitAndNonePoliciesRecover) {
   }
 }
 
+// ---------------------------------------------------------------------
+// Walk-store resume (the PR 10 tentpole): restart of a MonteCarlo
+// service resumes repairs from the checkpointed sidecar instead of
+// rebuilding, replays only the journal suffix the checkpoint does not
+// cover, and lands on the SAME walk store a journal-only rebuild does.
+
+[[nodiscard]] ServiceOptions mcServiceOptions(ServiceOptions opt) {
+  opt.stepEngine = ServiceOptions::StepEngine::MonteCarlo;
+  opt.maxBatchesPerStep = 1;  // one repair per epoch: a fixed schedule
+  opt.solver.mcWalksPerVertex = 4;
+  return opt;
+}
+
+TEST_F(DurabilityTest, ServiceResumesWalkStoreFromSidecarAllFsyncPolicies) {
+  const auto initial = makeTestGraph(70);
+  const auto batches = makeBatches(initial, 6, 71);
+  for (const FsyncPolicy policy :
+       {FsyncPolicy::Batch, FsyncPolicy::GroupCommit, FsyncPolicy::None}) {
+    const std::string label =
+        "fsync policy " + std::to_string(static_cast<int>(policy));
+    const fs::path resumeDir = dir_ / ("resume-" + label.substr(13));
+    const fs::path rebuildDir = dir_ / ("rebuild-" + label.substr(13));
+
+    // Run A: checkpoint every second publish — the final checkpoint's
+    // sidecar covers batches 1..5, the journal tail holds batch 6.
+    ServiceOptions ropt =
+        mcServiceOptions(durableOptions(/*checkpointEverySolves=*/2, policy));
+    ropt.durability.directory = resumeDir.string();
+    // Run B: journal-only twin of the same schedule — the rebuild
+    // oracle the resumed store must be bit-identical to.
+    ServiceOptions jopt =
+        mcServiceOptions(durableOptions(/*checkpointEverySolves=*/0, policy));
+    jopt.durability.directory = rebuildDir.string();
+
+    std::uint64_t fpA = 0;
+    std::vector<double> ranksA;
+    {
+      RankService a(initial, ropt);
+      RankService b(initial, jopt);
+      for (const auto& batch : batches) {
+        ASSERT_TRUE(a.submit(batch)) << label;
+        a.waitIdle();
+        ASSERT_TRUE(b.submit(batch)) << label;
+        b.waitIdle();
+      }
+      a.drainAndStop();
+      b.drainAndStop();
+      EXPECT_EQ(a.stats().walkCheckpoints, 3u) << label;
+      const SnapshotView va = a.snapshot();
+      ASSERT_TRUE(va->monteCarlo) << label;
+      fpA = va->mcFingerprint;
+      ranksA = va->ranks;
+      ASSERT_NE(fpA, 0u) << label;
+      EXPECT_EQ(b.snapshot()->mcFingerprint, fpA)
+          << label << ": twin runs diverged before any restart";
+    }
+    {
+      // Resume: the sidecar store (walk epoch 5) plus ONE replayed
+      // repair must equal run A — and the recovered snapshot serves
+      // personalized queries before replay even starts.
+      RankService s(initial, ropt);
+      EXPECT_EQ(s.stats().walkResumes, 1u) << label;
+      EXPECT_FALSE(s.pprTopK(0, 3).empty())
+          << label << ": recovered snapshot must carry the PPR index";
+      s.waitIdle();
+      const auto st = s.stats();
+      EXPECT_EQ(st.replayedBatches, 1u)
+          << label << ": resume must replay only the uncovered suffix";
+      EXPECT_EQ(st.batchesApplied, 6u) << label;
+      EXPECT_EQ(st.walkSidecarsQuarantined, 0u) << label;
+      const SnapshotView v = s.snapshot();
+      ASSERT_TRUE(v->monteCarlo) << label;
+      EXPECT_EQ(v->mcFingerprint, fpA)
+          << label << ": resumed walk store diverged from the clean run";
+      EXPECT_EQ(v->ranks, ranksA) << label;
+    }
+    {
+      // Rebuild: full journal replay (build + 6 repairs) — same store.
+      RankService s(initial, jopt);
+      EXPECT_EQ(s.stats().walkResumes, 0u) << label;
+      s.waitIdle();
+      EXPECT_EQ(s.stats().replayedBatches, 6u) << label;
+      const SnapshotView v = s.snapshot();
+      ASSERT_TRUE(v->monteCarlo) << label;
+      EXPECT_EQ(v->mcFingerprint, fpA)
+          << label << ": journal-only rebuild diverged from the clean run";
+      EXPECT_EQ(v->ranks, ranksA) << label;
+    }
+  }
+}
+
+TEST_F(DurabilityTest, ServiceTornWalkSidecarFallsBackToJournalRebuild) {
+  const auto initial = makeTestGraph(72);
+  const auto batches = makeBatches(initial, 2, 73);
+  ServiceOptions opt =
+      mcServiceOptions(durableOptions(/*checkpointEverySolves=*/1));
+  {
+    RankService s(initial, opt);
+    for (const auto& b : batches) {
+      ASSERT_TRUE(s.submit(b));
+      s.waitIdle();
+    }
+    s.drainAndStop();
+    EXPECT_GE(s.stats().walkCheckpoints, 2u);
+  }
+  // Corrupt the surviving (pruned-to-newest) sidecar's payload.
+  std::uint64_t newest = 0;
+  for (const auto& e : fs::directory_iterator(dir_)) {
+    const std::string name = e.path().filename().string();
+    if (name.rfind("ckpt-", 0) == 0 &&
+        name.size() > 11 && name.compare(name.size() - 6, 6, ".walks") == 0)
+      newest = std::max<std::uint64_t>(
+          newest, std::strtoull(name.c_str() + 5, nullptr, 10));
+  }
+  ASSERT_GT(newest, 0u);
+  const std::string walks = path("ckpt-" + std::to_string(newest) + ".walks");
+  ASSERT_TRUE(fs::exists(walks));
+  corruptByte(walks, sizeof(WalkSidecarHeader) + 17);
+
+  std::vector<std::string> warnings;
+  ServiceOptions ropt = opt;
+  ropt.durability.onWarning = [&](const std::string& w) {
+    warnings.push_back(w);
+  };
+  RankService s(initial, ropt);
+  // The sidecar was quarantined; the exact ranks recovered anyway.
+  EXPECT_EQ(s.stats().walkSidecarsQuarantined, 1u);
+  EXPECT_EQ(s.stats().walkResumes, 0u);
+  EXPECT_TRUE(fs::exists(walks + ".torn"));
+  ASSERT_FALSE(warnings.empty());
+  bool named = false;
+  for (const auto& w : warnings)
+    named = named || w.find(".walks.torn") != std::string::npos;
+  EXPECT_TRUE(named) << "no warning names the quarantine file";
+
+  // The next batch triggers the rebuild: build on the checkpoint graph,
+  // then repair — mirror that exact schedule offline and demand
+  // bit-identity.
+  auto offline = DynamicDigraph::fromCsr(initial);
+  offline.ensureSelfLoops();
+  for (const auto& b : batches) offline.applyBatch(b);
+  const auto ckptGraph = offline.toCsr();
+  Rng rng(74);
+  const auto extra = generateBatch(offline, 100, rng);
+  offline.applyBatch(extra);
+  const auto currGraph = offline.toCsr();
+
+  ASSERT_TRUE(s.submit(extra));
+  s.drainAndStop();
+  const SnapshotView v = s.snapshot();
+  ASSERT_TRUE(v->monteCarlo);
+
+  detail::LfEngineState twin(initial.numVertices());
+  ASSERT_TRUE(detail::lfMonteCarloStep(twin, ckptGraph, currGraph, extra,
+                                       opt.solver, nullptr, "twin")
+                  .converged);
+  EXPECT_EQ(v->mcFingerprint, twin.monteCarlo->fingerprint())
+      << "the fallback rebuild must match the offline twin bit-for-bit";
+}
+
 #if defined(LFPR_FAILPOINTS)
 
 // ---------------------------------------------------------------------
@@ -682,6 +1009,105 @@ void verifyCrashRecovery(const std::string& dir, const CsrGraph& initial,
       << label;
 }
 
+/// Every fail point the durability stack registers, by name. The crash
+/// matrix asserts everything a clean run traverses is in this reviewed
+/// set, so adding an I/O site without a fail point review (or with a
+/// typo'd name) fails the per-push failpoints job, not a nightly.
+const std::set<std::string>& knownFailPoints() {
+  static const std::set<std::string> known = {
+      "csr.open",           "csr.write",
+      "csr.fsync",          "csr.rename",
+      "csr.backpatch",      "journal.reset.truncate",
+      "elog.open",          "elog.write",
+      "elog.fsync",         "elog.rename",
+      "journal.open",       "journal.append.write",
+      "journal.append.fsync", "journal.compact.write",
+      "journal.compact.rename", "journal.quarantine.write",
+      "ckpt.meta.open",     "ckpt.meta.write",
+      "ckpt.meta.fsync",    "ckpt.meta.rename",
+      "ckpt.walks.open",    "ckpt.walks.write",
+      "ckpt.walks.fsync",   "ckpt.walks.rename",
+      "ckpt.prune",         "mmap.open",
+      "mmap.map",
+  };
+  return known;
+}
+
+void expectEnumeratedPointsRegistered(const std::vector<std::string>& points) {
+  for (const auto& p : points)
+    EXPECT_NE(knownFailPoints().count(p), 0u)
+        << "fail point '" << p
+        << "' is not in the reviewed registry: add it to knownFailPoints() "
+           "and extend the crash matrix to cover its ordering";
+}
+
+/// The from-scratch MonteCarlo schedule a durable service must be
+/// indistinguishable from after ANY kill + restart: build the walk
+/// store on the initial graph, then repair once per batch in submission
+/// order. Returns the store fingerprint and final ranks — both exact,
+/// bit-level oracles (all MC randomness is counter-based and seeded).
+struct McOracle {
+  std::uint64_t fingerprint = 0;
+  std::vector<double> ranks;
+};
+
+McOracle mcOracle(const CsrGraph& initial,
+                  const std::vector<BatchUpdate>& batches,
+                  const PageRankOptions& sopt) {
+  auto g = DynamicDigraph::fromCsr(initial);
+  g.ensureSelfLoops();
+  detail::LfEngineState state(initial.numVertices());
+  auto prev = g.toCsr();
+  EXPECT_TRUE(
+      detail::lfMonteCarloStep(state, prev, prev, {}, sopt, nullptr, "oracle")
+          .converged);
+  for (const auto& b : batches) {
+    g.applyBatch(b);
+    const auto curr = g.toCsr();
+    EXPECT_TRUE(
+        detail::lfMonteCarloStep(state, prev, curr, b, sopt, nullptr, "oracle")
+            .converged);
+    prev = curr;
+  }
+  McOracle out;
+  out.fingerprint = state.monteCarlo->fingerprint();
+  out.ranks = state.ranks.toVector();
+  return out;
+}
+
+/// MonteCarlo flavour of verifyCrashRecovery: same at-least-once
+/// durability checks, but the final assertion is the stronger PR 10
+/// contract — the recovered-and-caught-up walk store is BIT-IDENTICAL
+/// to the never-crashed schedule, whether the restart resumed from a
+/// sidecar or rebuilt from the journal.
+void verifyMcCrashRecovery(const std::string& dir, const CsrGraph& initial,
+                           const std::vector<BatchUpdate>& batches,
+                           ServiceOptions opt, std::size_t ackedBeforeDeath,
+                           const McOracle& oracle, const std::string& label) {
+  FailPoints::instance().disarmAll();
+  opt.durability.directory = dir;
+  RankService s(initial, opt);
+  s.waitIdle();
+  const std::uint64_t applied = s.stats().batchesApplied;
+  EXPECT_GE(applied, ackedBeforeDeath) << label;
+  ASSERT_LE(applied, batches.size()) << label;
+  for (std::size_t i = applied; i < batches.size(); ++i) {
+    ASSERT_TRUE(s.submit(batches[i])) << label;
+    s.waitIdle();  // keep the one-repair-per-epoch schedule
+  }
+  s.drainAndStop();
+  EXPECT_EQ(s.staleness().pendingBatches, 0u) << label;
+  const SnapshotView v = s.snapshot();
+  ASSERT_TRUE(v) << label;
+  EXPECT_TRUE(v->converged) << label;
+  ASSERT_TRUE(v->monteCarlo) << label;
+  EXPECT_EQ(v->mcFingerprint, oracle.fingerprint)
+      << label
+      << ": recovered walk store is not bit-identical to the from-scratch "
+         "schedule";
+  EXPECT_EQ(v->ranks, oracle.ranks) << label;
+}
+
 TEST_F(DurabilityTest, CrashMatrixEveryFailPointRecovers) {
   const auto initial = makeTestGraph(56);
   const auto batches = makeBatches(initial, 6, 57);
@@ -706,6 +1132,7 @@ TEST_F(DurabilityTest, CrashMatrixEveryFailPointRecovers) {
   ASSERT_GE(points.size(), 10u)
       << "the durability paths should traverse write/fsync/rename/mmap "
          "sites; the instrumentation went missing";
+  expectEnumeratedPointsRegistered(points);
 
   // The matrix: one kill-restart-verify act per point.
   for (const std::string& point : points) {
@@ -727,21 +1154,89 @@ TEST_F(DurabilityTest, CrashMatrixEveryFailPointRecovers) {
   }
 }
 
+// The PR 10 matrix: the same kill-everywhere discipline, but under the
+// MonteCarlo engine with checkpointing on — so every act exercises the
+// walk-sidecar ordering points (ckpt.walks.open/write/fsync/rename and
+// ckpt.prune of superseded triples) alongside the pair's, and every
+// recovery must produce a walk store BIT-IDENTICAL to the from-scratch
+// schedule. This holds because the triple is written csr -> walks ->
+// meta: a kill anywhere in the sidecar leaves no meta, so recovery
+// lands on an older complete triple (resume) or no checkpoint at all
+// (full replay) — both the same deterministic repair schedule.
+TEST_F(DurabilityTest, McCrashMatrixRecoversBitIdenticalWalkStore) {
+  const auto initial = makeTestGraph(80);
+  const auto batches = makeBatches(initial, 6, 81);
+  auto& fp = FailPoints::instance();
+
+  ServiceOptions opt =
+      mcServiceOptions(durableOptions(/*checkpointEverySolves=*/1));
+  const McOracle oracle = mcOracle(initial, batches, opt.solver);
+
+  fp.disarmAll();
+  const fs::path cleanDir = dir_ / "clean";
+  ServiceOptions clopt = opt;
+  clopt.durability.directory = cleanDir.string();
+  const CrashOutcome clean =
+      runCrashScenario(cleanDir.string(), initial, batches, clopt);
+  ASSERT_FALSE(clean.died);
+  ASSERT_EQ(clean.acked, batches.size());
+  const std::vector<std::string> points = fp.pointsSeen();
+  verifyMcCrashRecovery(cleanDir.string(), initial, batches, clopt,
+                        clean.acked, oracle, "clean");
+  expectEnumeratedPointsRegistered(points);
+  for (const char* required :
+       {"ckpt.walks.open", "ckpt.walks.write", "ckpt.walks.fsync",
+        "ckpt.walks.rename", "ckpt.prune"}) {
+    EXPECT_NE(std::count(points.begin(), points.end(), required), 0)
+        << "'" << required
+        << "' never fired in a checkpointing MonteCarlo run — the sidecar "
+           "write path lost its instrumentation";
+  }
+
+  for (const std::string& point : points) {
+    const std::string label = "mc fail point '" + point + "'";
+    std::string safe = point;
+    for (char& c : safe)
+      if (c == '.' || c == '/') c = '_';
+    const fs::path caseDir = dir_ / ("matrix-" + safe);
+    ServiceOptions copt = opt;
+    copt.durability.directory = caseDir.string();
+
+    fp.disarmAll();
+    fp.armKill(point);
+    const CrashOutcome outcome =
+        runCrashScenario(caseDir.string(), initial, batches, copt);
+    EXPECT_TRUE(outcome.died) << label << " never fired";
+    verifyMcCrashRecovery(caseDir.string(), initial, batches, copt,
+                          outcome.acked, oracle, label);
+  }
+}
+
 // Randomized lane (nightly runs this 100x with different seeds): pick a
 // pseudo-random fail point and hit count from LFPR_CRASH_SEED and run
-// one kill-restart-verify act. Deterministic per seed.
+// one kill-restart-verify act. Deterministic per seed. Seeds alternate
+// engines — odd seeds run MonteCarlo (sidecar resume paths, verified
+// against the bit-identity oracle), even seeds the exact Pull engine —
+// so a 100-seed night splits its kills evenly across both recovery
+// shapes.
 TEST_F(DurabilityTest, RandomizedCrashSeedRecovers) {
   std::uint64_t seed = 1;
   if (const char* env = std::getenv("LFPR_CRASH_SEED"))
     seed = std::strtoull(env, nullptr, 10);
+  const bool monteCarlo = (seed % 2) == 1;
   const auto initial = makeTestGraph(58 + seed);
   const auto batches = makeBatches(initial, 6, 59 + seed);
   auto& fp = FailPoints::instance();
 
+  ServiceOptions base = durableOptions(/*checkpointEverySolves=*/1);
+  if (monteCarlo) base = mcServiceOptions(base);
+  const McOracle oracle =
+      monteCarlo ? mcOracle(initial, batches, base.solver) : McOracle{};
+
   // Enumerate from a clean run with this seed's workload.
   fp.disarmAll();
   const fs::path cleanDir = dir_ / "clean";
-  ServiceOptions opt = durableOptions(/*checkpointEverySolves=*/1);
+  ServiceOptions opt = base;
   opt.durability.directory = cleanDir.string();
   const CrashOutcome clean =
       runCrashScenario(cleanDir.string(), initial, batches, opt);
@@ -754,18 +1249,23 @@ TEST_F(DurabilityTest, RandomizedCrashSeedRecovers) {
   const std::string point = points[rng() % points.size()];
   const std::uint64_t hit = 1 + rng() % 3;
   const std::string label =
-      "seed " + std::to_string(seed) + ": kill '" + point + "' hit " +
+      "seed " + std::to_string(seed) + " (" +
+      (monteCarlo ? "MonteCarlo" : "Pull") + "): kill '" + point + "' hit " +
       std::to_string(hit);
 
   const fs::path caseDir = dir_ / "case";
-  ServiceOptions copt = durableOptions(/*checkpointEverySolves=*/1);
+  ServiceOptions copt = base;
   copt.durability.directory = caseDir.string();
   fp.armKill(point, hit);
   const CrashOutcome outcome =
       runCrashScenario(caseDir.string(), initial, batches, copt);
   // A late hit index may never be reached; that is a (boring) clean run.
-  verifyCrashRecovery(caseDir.string(), initial, batches, copt, outcome.acked,
-                      label);
+  if (monteCarlo)
+    verifyMcCrashRecovery(caseDir.string(), initial, batches, copt,
+                          outcome.acked, oracle, label);
+  else
+    verifyCrashRecovery(caseDir.string(), initial, batches, copt,
+                        outcome.acked, label);
 }
 
 #endif  // LFPR_FAILPOINTS

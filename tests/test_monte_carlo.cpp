@@ -317,6 +317,105 @@ TEST(Service, MonteCarloRestartRebuildsIdenticalStore) {
 }
 
 // ---------------------------------------------------------------------
+// Walk-store serialization (PR 10): the WalkStoreImage round trip is
+// bit-exact AND resumable — a deserialized store repairs forward
+// exactly like the original, which is what lets a restarted service
+// continue Monte Carlo repairs instead of rebuilding.
+
+TEST(MonteCarlo, WalkStoreImageRoundTripResumesRepairs) {
+  auto g = makeTestDigraph(99);
+  const auto opt = mcOptions(/*walksPerVertex=*/8);
+  detail::LfEngineState state(g.numVertices());
+  auto prev = g.toCsr();
+  ASSERT_TRUE(
+      detail::lfMonteCarloStep(state, prev, prev, {}, opt, nullptr, "test")
+          .converged);
+  Rng rng(100);
+  // Two repairs first, so the image carries a non-zero walk epoch and
+  // live delta chains — the shape a mid-life checkpoint would persist.
+  for (int b = 0; b < 2; ++b) {
+    const auto batch = generateBatch(g, 200, rng);
+    g.applyBatch(batch);
+    const auto curr = g.toCsr();
+    ASSERT_TRUE(detail::lfMonteCarloStep(state, prev, curr, batch, opt,
+                                         nullptr, "test")
+                    .converged);
+    prev = curr;
+  }
+
+  const auto img = detail::mcSerializeStore(*state.monteCarlo);
+  EXPECT_EQ(img.epoch, 2u);
+  EXPECT_EQ(img.numWalks, state.monteCarlo->numWalks);
+  auto restored = detail::mcDeserializeStore(img);
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->fingerprint(), state.monteCarlo->fingerprint());
+  EXPECT_EQ(restored->epoch, state.monteCarlo->epoch);
+  EXPECT_EQ(walkContents(*restored), walkContents(*state.monteCarlo));
+  // Visit counts are recounted from the walks, never persisted; the
+  // PPR visit index and delta chains ride along verbatim.
+  EXPECT_EQ(restored->visits.toVector(), state.monteCarlo->visits.toVector());
+  EXPECT_EQ(restored->indexOffsets, state.monteCarlo->indexOffsets);
+  EXPECT_EQ(restored->indexWalks, state.monteCarlo->indexWalks);
+  EXPECT_EQ(restored->deltaHead, state.monteCarlo->deltaHead);
+
+  // Resumability: adopt the restored store into a fresh engine state
+  // (ranks seeded the way recovery does, from the checkpointed vector)
+  // and repair BOTH stores through one more batch — they must stay
+  // bit-identical.
+  detail::LfEngineState resumed(g.numVertices());
+  resumed.seedRanks(state.ranks.toVector());
+  resumed.monteCarlo = std::move(restored);
+  resumed.monteCarloValid = true;
+
+  const auto batch = generateBatch(g, 200, rng);
+  g.applyBatch(batch);
+  const auto curr = g.toCsr();
+  ASSERT_TRUE(detail::lfMonteCarloStep(state, prev, curr, batch, opt, nullptr,
+                                       "test")
+                  .converged);
+  ASSERT_TRUE(detail::lfMonteCarloStep(resumed, prev, curr, batch, opt,
+                                       nullptr, "test")
+                  .converged);
+  EXPECT_EQ(resumed.monteCarlo->fingerprint(),
+            state.monteCarlo->fingerprint())
+      << "a deserialized store must repair exactly like the original";
+  EXPECT_EQ(resumed.ranks.toVector(), state.ranks.toVector());
+}
+
+TEST(MonteCarlo, WalkStoreImageRejectsCorruptPayloads) {
+  const auto g = makeTestDigraph(101).toCsr();
+  const auto opt = mcOptions(/*walksPerVertex=*/2);
+  detail::LfEngineState state(g.numVertices());
+  ASSERT_TRUE(
+      detail::lfMonteCarloStep(state, g, g, {}, opt, nullptr, "test").converged);
+  const auto img = detail::mcSerializeStore(*state.monteCarlo);
+
+  // The happy path still deserializes — the corruptions below are the
+  // only deltas.
+  ASSERT_NE(detail::mcDeserializeStore(img), nullptr);
+  {
+    auto bad = img;  // truncated segment blob (torn file shape)
+    bad.segments.pop_back();
+    EXPECT_THROW(detail::mcDeserializeStore(bad), std::runtime_error);
+  }
+  {
+    auto bad = img;  // walk count disagrees with n * walksPerVertex
+    bad.numWalks += 1;
+    EXPECT_THROW(detail::mcDeserializeStore(bad), std::runtime_error);
+  }
+  {
+    auto bad = img;  // trailing garbage after the visit index
+    bad.visitIndex.push_back(std::byte{0x5a});
+    EXPECT_THROW(detail::mcDeserializeStore(bad), std::runtime_error);
+  }
+  {
+    auto bad = img;  // walk 0's length corrupted past the stride
+    bad.segments[0] ^= std::byte{0xff};
+    EXPECT_THROW(detail::mcDeserializeStore(bad), std::runtime_error);
+  }
+}
+
+// ---------------------------------------------------------------------
 // Personalized queries.
 
 TEST(MonteCarlo, PprTopKMatchesExactPersonalizedRanks) {
